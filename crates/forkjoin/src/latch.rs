@@ -1,0 +1,110 @@
+//! Latches: one-shot "this job has completed" flags.
+//!
+//! Two flavours are needed:
+//!
+//! * [`SpinLatch`] — set by whoever executes a stolen job, probed by the
+//!   worker that is waiting for the result inside `join`.  The waiting worker
+//!   never sleeps on it (it keeps stealing other work instead), so a plain
+//!   atomic flag suffices.
+//! * [`LockLatch`] — used by threads *outside* the pool (e.g.
+//!   [`Pool::install`](crate::Pool::install)) that have nothing better to do
+//!   than sleep until the injected job finishes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+/// A one-shot completion flag.
+pub(crate) trait Latch {
+    /// Marks the latch as set, waking any sleeping waiter.
+    ///
+    /// # Safety
+    ///
+    /// Once `set` is called, the latch (and the job containing it) may be
+    /// deallocated by the waiting thread at any moment; the implementation
+    /// must not touch `self` after the final store/notify.
+    unsafe fn set(&self);
+}
+
+/// A latch that is polled by a busy worker thread.
+#[derive(Debug, Default)]
+pub(crate) struct SpinLatch {
+    set: AtomicBool,
+}
+
+impl SpinLatch {
+    pub(crate) fn new() -> Self {
+        SpinLatch {
+            set: AtomicBool::new(false),
+        }
+    }
+
+    /// Returns `true` once [`Latch::set`] has been called.
+    pub(crate) fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+}
+
+impl Latch for SpinLatch {
+    unsafe fn set(&self) {
+        self.set.store(true, Ordering::Release);
+    }
+}
+
+/// A latch that blocks the waiting thread on a condition variable.
+#[derive(Debug, Default)]
+pub(crate) struct LockLatch {
+    mutex: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn new() -> Self {
+        LockLatch {
+            mutex: Mutex::new(false),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Blocks the calling thread until [`Latch::set`] is called.
+    pub(crate) fn wait(&self) {
+        let mut done = self.mutex.lock();
+        while !*done {
+            self.cond.wait(&mut done);
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    unsafe fn set(&self) {
+        let mut done = self.mutex.lock();
+        *done = true;
+        self.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spin_latch_probe_transitions() {
+        let latch = SpinLatch::new();
+        assert!(!latch.probe());
+        unsafe { latch.set() };
+        assert!(latch.probe());
+    }
+
+    #[test]
+    fn lock_latch_wakes_waiter() {
+        let latch = Arc::new(LockLatch::new());
+        let latch2 = Arc::clone(&latch);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            unsafe { latch2.set() };
+        });
+        latch.wait();
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate for the parallel-batched interpolation search tree
+//! reproduction.  It only re-exports the workspace crates so that the
+//! examples and integration tests in this package have a single import
+//! surface; all functionality lives in the `crates/` members.
+
+pub use baselines;
+pub use forkjoin;
+pub use parprim;
+pub use pbist;
+pub use workloads;
