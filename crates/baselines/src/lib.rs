@@ -1,0 +1,117 @@
+//! Reference data structures the paper's tree is compared against.
+//!
+//! The simplest competitor to an interpolation search tree is a flat sorted
+//! array: perfect space locality, `O(log n)` lookups, but no cheap updates.
+//! [`SortedArraySet`] provides that baseline, including a batched lookup path
+//! ([`SortedArraySet::batch_contains`]) that answers a whole query batch in
+//! parallel through `parprim` — the same batch interface the `pbist` tree
+//! exposes, so benchmark harnesses can treat both uniformly.
+
+use std::fmt::Debug;
+
+/// An immutable set of keys stored as one sorted, deduplicated array.
+#[derive(Debug, Clone, Default)]
+pub struct SortedArraySet<K: Ord> {
+    keys: Vec<K>,
+}
+
+impl<K: Ord> SortedArraySet<K> {
+    /// Builds a set from arbitrary keys; sorts and deduplicates them.
+    pub fn from_unsorted(mut keys: Vec<K>) -> SortedArraySet<K> {
+        keys.sort();
+        keys.dedup();
+        SortedArraySet { keys }
+    }
+
+    /// Builds a set from keys that are already sorted and deduplicated
+    /// (checked with a `debug_assert!`).
+    pub fn from_sorted(keys: Vec<K>) -> SortedArraySet<K> {
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys must be strictly increasing"
+        );
+        SortedArraySet { keys }
+    }
+
+    /// Number of keys in the set.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Returns `true` when the set holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Returns `true` when `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.keys.binary_search(key).is_ok()
+    }
+
+    /// Number of keys strictly smaller than `key`.
+    pub fn rank(&self, key: &K) -> usize {
+        self.keys.partition_point(|k| k < key)
+    }
+
+    /// Answers one membership query per element of `queries`, in order.
+    ///
+    /// Runs the queries in parallel when called inside a
+    /// [`forkjoin::Pool`](https://docs.rs/forkjoin) via `parprim::map`; on an
+    /// ordinary thread it degrades to a sequential loop.
+    pub fn batch_contains(&self, queries: &[K]) -> Vec<bool>
+    where
+        K: Sync,
+    {
+        parprim::map(queries, |q| self.contains(q))
+    }
+
+    /// The underlying sorted keys.
+    pub fn as_slice(&self) -> &[K] {
+        &self.keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_unsorted_sorts_and_dedups() {
+        let set = SortedArraySet::from_unsorted(vec![5, 1, 3, 3, 1]);
+        assert_eq!(set.as_slice(), &[1, 3, 5]);
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn contains_and_rank_agree_with_linear_scan() {
+        let keys: Vec<u64> = (0..500).map(|i| i * 3).collect();
+        let set = SortedArraySet::from_sorted(keys.clone());
+        for probe in 0..1600u64 {
+            assert_eq!(set.contains(&probe), keys.contains(&probe));
+            assert_eq!(
+                set.rank(&probe),
+                keys.iter().filter(|&&k| k < probe).count()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_contains_matches_pointwise_queries() {
+        let set = SortedArraySet::from_unsorted((0..1000u64).map(|i| i * 2).collect());
+        let queries: Vec<u64> = (0..4096).map(|i| (i * 7) % 2500).collect();
+        let batched = set.batch_contains(&queries);
+        let pointwise: Vec<bool> = queries.iter().map(|q| set.contains(q)).collect();
+        assert_eq!(batched, pointwise);
+    }
+
+    #[test]
+    fn batch_contains_works_inside_a_pool() {
+        let set = SortedArraySet::from_unsorted((0..10_000u64).collect());
+        let queries: Vec<u64> = (0..50_000).map(|i| i % 20_000).collect();
+        let pool = forkjoin::Pool::new(4).unwrap();
+        let batched = pool.install(|| set.batch_contains(&queries));
+        let pointwise: Vec<bool> = queries.iter().map(|q| set.contains(q)).collect();
+        assert_eq!(batched, pointwise);
+    }
+}

@@ -16,11 +16,21 @@ use crate::latch::Latch;
 pub(crate) type PanicPayload = Box<dyn Any + Send>;
 
 /// A type-erased pointer to a job that can be executed exactly once.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug)]
 pub(crate) struct JobRef {
     pointer: *const (),
     execute_fn: unsafe fn(*const ()),
 }
+
+// Equality on the job address alone: two live jobs never share an address,
+// and fn-pointer comparison is unreliable across codegen units.
+impl PartialEq for JobRef {
+    fn eq(&self, other: &JobRef) -> bool {
+        self.pointer == other.pointer
+    }
+}
+
+impl Eq for JobRef {}
 
 // SAFETY: a `JobRef` is only ever created from jobs whose closures are
 // `Send`; the pointer itself is just an opaque handle shipped between worker
@@ -114,9 +124,18 @@ where
         func()
     }
 
-    /// Extracts the result after the latch has been set by a thief.
+    /// Removes the recorded outcome (result or panic payload), leaving
+    /// `JobResult::None` behind.  Callers that need to defer unwinding (the
+    /// `join` protocol must not unwind while the sibling branch may still be
+    /// running) use this raw form.
+    pub(crate) unsafe fn take_result(&self) -> JobResult<R> {
+        std::mem::replace(&mut *self.result.get(), JobResult::None)
+    }
+
+    /// Extracts the result after the latch has been set by a thief,
+    /// re-throwing the job's panic (if any) on the calling thread.
     pub(crate) unsafe fn into_result(&self) -> R {
-        match std::mem::replace(&mut *self.result.get(), JobResult::None) {
+        match self.take_result() {
             JobResult::None => unreachable!("latch set but no job result recorded"),
             JobResult::Ok(r) => r,
             JobResult::Panic(payload) => panic::resume_unwind(payload),
@@ -161,8 +180,7 @@ mod tests {
 
     #[test]
     fn stack_job_records_panic_payload() {
-        let job: StackJob<_, _, ()> =
-            StackJob::new(|| panic!("boom"), SpinLatch::new());
+        let job: StackJob<_, _, ()> = StackJob::new(|| panic!("boom"), SpinLatch::new());
         let job_ref = unsafe { job.as_job_ref() };
         unsafe { job_ref.execute() };
         assert!(job.latch().probe());

@@ -11,8 +11,7 @@
 //!   than sleep until the injected job finishes.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 
 /// A one-shot completion flag.
 pub(crate) trait Latch {
@@ -68,16 +67,16 @@ impl LockLatch {
 
     /// Blocks the calling thread until [`Latch::set`] is called.
     pub(crate) fn wait(&self) {
-        let mut done = self.mutex.lock();
+        let mut done = self.mutex.lock().unwrap();
         while !*done {
-            self.cond.wait(&mut done);
+            done = self.cond.wait(done).unwrap();
         }
     }
 }
 
 impl Latch for LockLatch {
     unsafe fn set(&self) {
-        let mut done = self.mutex.lock();
+        let mut done = self.mutex.lock().unwrap();
         *done = true;
         self.cond.notify_all();
     }

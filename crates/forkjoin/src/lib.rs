@@ -9,9 +9,9 @@
 //!
 //! # Design
 //!
-//! * A [`Pool`] owns `n` worker threads.  Each worker has a LIFO
-//!   [`crossbeam_deque::Worker`] deque; a global injector queue receives jobs
-//!   submitted from outside the pool (via [`Pool::install`]).
+//! * A [`Pool`] owns `n` worker threads.  Each worker has a deque it pushes
+//!   and pops LIFO while thieves steal FIFO; a global injector queue receives
+//!   jobs submitted from outside the pool (via [`Pool::install`]).
 //! * [`join(a, b)`](join) called **on a worker thread** pushes `b` onto the
 //!   local deque, runs `a` inline, and then either pops `b` back (if nobody
 //!   stole it) or helps with other work until the thief finishes `b`.

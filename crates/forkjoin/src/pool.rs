@@ -1,0 +1,311 @@
+//! Pool construction ([`PoolBuilder`]), the [`Pool::install`] entry point,
+//! and graceful shutdown.
+//!
+//! A [`Pool`] owns its worker threads: dropping the pool asks every worker to
+//! finish the jobs it can still see and exit, then joins the OS threads.  The
+//! shared [`Registry`] outlives the `Pool` handle only as long as a worker
+//! still holds an `Arc` to it, i.e. until the last worker has unwound.
+
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+use std::thread;
+
+use crate::job::StackJob;
+use crate::latch::LockLatch;
+use crate::registry::{worker_main, Registry, WorkerThread};
+
+/// A fixed-size work-stealing thread pool executing [`join`](crate::join)
+/// computations.
+///
+/// Construct one with [`Pool::new`] (just a thread count) or [`Pool::builder`]
+/// (thread naming, stack size).  Enter the pool with [`Pool::install`]; inside
+/// the installed closure, every [`join`](crate::join) call forks onto the
+/// pool's workers.
+pub struct Pool {
+    registry: Arc<Registry>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Creates a pool with exactly `num_threads` worker threads.
+    ///
+    /// Fails with [`PoolBuildError::ZeroThreads`] when `num_threads` is zero
+    /// and with [`PoolBuildError::Spawn`] when the OS refuses to start a
+    /// worker thread.
+    pub fn new(num_threads: usize) -> Result<Pool, PoolBuildError> {
+        Pool::builder().num_threads(num_threads).build()
+    }
+
+    /// Returns a [`PoolBuilder`] for configuring a pool before starting it.
+    pub fn builder() -> PoolBuilder {
+        PoolBuilder::new()
+    }
+
+    /// Returns the number of worker threads in this pool.
+    pub fn num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+
+    /// Runs `op` on one of the pool's worker threads and returns its result,
+    /// blocking the calling thread until it completes.
+    ///
+    /// Any [`join`](crate::join) calls made (transitively) by `op` execute on
+    /// this pool.  `op` may borrow from the caller's stack: `install` does not
+    /// return before `op` has finished, so the borrow cannot outlive its
+    /// referent.
+    ///
+    /// # Panics
+    ///
+    /// If `op` panics, the panic is captured on the worker and re-thrown on
+    /// the calling thread.  The pool itself survives and stays usable.
+    pub fn install<F, R>(&self, op: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        // Already on one of our own workers?  Run inline: blocking this
+        // worker on a latch while the job sits in the injector would
+        // deadlock a one-worker pool (and waste a worker in any pool).
+        let worker = WorkerThread::current();
+        if !worker.is_null() {
+            // SAFETY: non-null worker pointers are valid for the thread's
+            // lifetime.
+            let same_pool =
+                unsafe { std::ptr::eq((*worker).registry(), Arc::as_ptr(&self.registry)) };
+            if same_pool {
+                return op();
+            }
+        }
+        let job = StackJob::new(op, LockLatch::new());
+        // SAFETY: the job lives on this stack frame, and we block on its
+        // latch below before returning, so the published reference cannot
+        // dangle.
+        let job_ref = unsafe { job.as_job_ref() };
+        self.registry.inject(job_ref);
+        job.latch().wait();
+        // SAFETY: the latch has fired, so the worker that executed the job
+        // has recorded an outcome and will never touch the job again.
+        unsafe { job.into_result() }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.registry.terminate();
+        for handle in self.handles.drain(..) {
+            // A worker that panicked outside any job has already poisoned
+            // nothing we can report from Drop; ignore the join error.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl fmt::Debug for Pool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pool")
+            .field("num_threads", &self.num_threads())
+            .finish()
+    }
+}
+
+/// Configures and starts a [`Pool`].
+///
+/// ```
+/// use forkjoin::Pool;
+///
+/// let pool = Pool::builder()
+///     .num_threads(2)
+///     .thread_name_prefix("my-worker")
+///     .build()
+///     .expect("failed to build pool");
+/// assert_eq!(pool.num_threads(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoolBuilder {
+    num_threads: Option<usize>,
+    thread_name_prefix: String,
+    stack_size: Option<usize>,
+}
+
+impl PoolBuilder {
+    /// Creates a builder with default settings: one worker per available CPU,
+    /// threads named `forkjoin-worker-<i>`, default stack size.
+    pub fn new() -> PoolBuilder {
+        PoolBuilder {
+            num_threads: None,
+            thread_name_prefix: String::from("forkjoin-worker"),
+            stack_size: None,
+        }
+    }
+
+    /// Sets the number of worker threads.  Zero is rejected at
+    /// [`build`](PoolBuilder::build) time; when unset, the pool uses
+    /// [`std::thread::available_parallelism`].
+    pub fn num_threads(mut self, num_threads: usize) -> PoolBuilder {
+        self.num_threads = Some(num_threads);
+        self
+    }
+
+    /// Sets the prefix for worker thread names (`<prefix>-<index>`).
+    pub fn thread_name_prefix(mut self, prefix: impl Into<String>) -> PoolBuilder {
+        self.thread_name_prefix = prefix.into();
+        self
+    }
+
+    /// Sets the stack size, in bytes, of each worker thread.
+    pub fn stack_size(mut self, bytes: usize) -> PoolBuilder {
+        self.stack_size = Some(bytes);
+        self
+    }
+
+    /// Starts the worker threads and returns the running pool.
+    ///
+    /// On spawn failure the already-started workers are shut down and joined
+    /// before the error is returned, so a failed build leaks nothing.
+    pub fn build(self) -> Result<Pool, PoolBuildError> {
+        let num_threads = match self.num_threads {
+            Some(0) => return Err(PoolBuildError::ZeroThreads),
+            Some(n) => n,
+            None => thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        };
+        let registry = Registry::new(num_threads);
+        let mut handles = Vec::with_capacity(num_threads);
+        for index in 0..num_threads {
+            let mut builder =
+                thread::Builder::new().name(format!("{}-{}", self.thread_name_prefix, index));
+            if let Some(bytes) = self.stack_size {
+                builder = builder.stack_size(bytes);
+            }
+            let worker_registry = Arc::clone(&registry);
+            match builder.spawn(move || worker_main(worker_registry, index)) {
+                Ok(handle) => handles.push(handle),
+                Err(err) => {
+                    registry.terminate();
+                    for handle in handles {
+                        let _ = handle.join();
+                    }
+                    return Err(PoolBuildError::Spawn(err));
+                }
+            }
+        }
+        Ok(Pool { registry, handles })
+    }
+}
+
+impl Default for PoolBuilder {
+    fn default() -> PoolBuilder {
+        PoolBuilder::new()
+    }
+}
+
+/// Errors returned when a [`Pool`] cannot be constructed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PoolBuildError {
+    /// A pool must have at least one worker thread.
+    ZeroThreads,
+    /// The OS failed to spawn a worker thread.
+    Spawn(io::Error),
+}
+
+impl fmt::Display for PoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolBuildError::ZeroThreads => write!(f, "a pool needs at least one worker thread"),
+            PoolBuildError::Spawn(err) => write!(f, "failed to spawn worker thread: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolBuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PoolBuildError::ZeroThreads => None,
+            PoolBuildError::Spawn(err) => Some(err),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        assert!(matches!(Pool::new(0), Err(PoolBuildError::ZeroThreads)));
+    }
+
+    #[test]
+    fn builder_defaults_to_available_parallelism() {
+        let pool = Pool::builder().build().unwrap();
+        assert!(pool.num_threads() >= 1);
+    }
+
+    #[test]
+    fn workers_are_named_with_prefix() {
+        let pool = Pool::builder()
+            .num_threads(1)
+            .thread_name_prefix("custom")
+            .build()
+            .unwrap();
+        let name = pool.install(|| thread::current().name().map(String::from));
+        assert_eq!(name.as_deref(), Some("custom-0"));
+    }
+
+    #[test]
+    fn install_returns_borrowed_computation() {
+        let data: Vec<u32> = (0..100).collect();
+        let pool = Pool::new(2).unwrap();
+        let total = pool.install(|| data.iter().sum::<u32>());
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn sequential_installs_reuse_the_pool() {
+        let pool = Pool::new(2).unwrap();
+        for i in 0..64u64 {
+            assert_eq!(pool.install(move || i * 2), i * 2);
+        }
+    }
+
+    #[test]
+    fn install_from_many_outside_threads() {
+        let pool = std::sync::Arc::new(Pool::new(2).unwrap());
+        let handles: Vec<_> = (0..4u64)
+            .map(|i| {
+                let pool = std::sync::Arc::clone(&pool);
+                thread::spawn(move || pool.install(move || i + 100))
+            })
+            .collect();
+        let mut results: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        results.sort_unstable();
+        assert_eq!(results, vec![100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn nested_install_runs_inline_even_on_one_worker() {
+        let pool = Pool::new(1).unwrap();
+        let v = pool.install(|| pool.install(|| 6 * 7));
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        // Building and dropping many pools must not hang or leak threads to
+        // the point of spawn failure.
+        for _ in 0..16 {
+            let pool = Pool::new(3).unwrap();
+            assert_eq!(pool.install(|| 1), 1);
+            drop(pool);
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = Pool::new(0).unwrap_err();
+        assert!(err.to_string().contains("at least one"));
+    }
+}

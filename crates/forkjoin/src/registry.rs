@@ -1,0 +1,301 @@
+//! The shared state behind a [`Pool`](crate::Pool): per-worker deques, the
+//! global injector, the worker main loop, and the `join` protocol.
+//!
+//! # Queue discipline
+//!
+//! Each worker owns a deque of [`JobRef`]s.  The owner pushes and pops at the
+//! **back** (LIFO — the most recently forked job is the one whose data is
+//! hottest in cache), while thieves and the owner-helping-while-blocked steal
+//! from the **front** (FIFO — the oldest fork is the biggest remaining chunk
+//! of work).  A global injector queue receives jobs submitted from outside
+//! the pool via [`Pool::install`](crate::Pool::install) and is drained FIFO.
+//!
+//! The deques here are `Mutex<VecDeque>`-based rather than lock-free
+//! Chase-Lev deques: `JobRef` is two words and the critical sections are a
+//! handful of instructions, so contention is modest at the scales this
+//! reproduction currently targets.  Swapping in a lock-free deque behind the
+//! same `push`/`pop`/`steal` surface is a planned follow-up optimisation.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+use crate::job::{JobRef, JobResult, PanicPayload, StackJob};
+use crate::latch::SpinLatch;
+
+/// A double-ended job queue: owner end at the back, thief end at the front.
+#[derive(Default)]
+pub(crate) struct JobQueue {
+    jobs: Mutex<VecDeque<JobRef>>,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        JobQueue::default()
+    }
+
+    fn push(&self, job: JobRef) {
+        self.jobs.lock().unwrap().push_back(job);
+    }
+
+    fn pop(&self) -> Option<JobRef> {
+        self.jobs.lock().unwrap().pop_back()
+    }
+
+    fn steal(&self) -> Option<JobRef> {
+        self.jobs.lock().unwrap().pop_front()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.jobs.lock().unwrap().is_empty()
+    }
+}
+
+/// State shared by all workers of one pool.
+pub(crate) struct Registry {
+    /// FIFO queue for jobs injected from outside the pool.
+    injector: JobQueue,
+    /// One deque per worker, indexed by worker index.
+    queues: Vec<JobQueue>,
+    /// Guards the idle-worker condition variable.
+    sleep_mutex: Mutex<()>,
+    /// Signalled whenever new work arrives or the pool shuts down.
+    work_available: Condvar,
+    /// Number of workers currently blocked on `work_available`.
+    sleepers: AtomicUsize,
+    /// Set once by `terminate`; workers exit their main loop when they see it
+    /// and find no remaining work.
+    terminating: AtomicBool,
+}
+
+impl Registry {
+    pub(crate) fn new(num_threads: usize) -> Arc<Registry> {
+        Arc::new(Registry {
+            injector: JobQueue::new(),
+            queues: (0..num_threads).map(|_| JobQueue::new()).collect(),
+            sleep_mutex: Mutex::new(()),
+            work_available: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            terminating: AtomicBool::new(false),
+        })
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Submits a job from outside the pool.
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.injector.push(job);
+        self.notify_work();
+    }
+
+    /// Asks all workers to exit once they run out of work.
+    pub(crate) fn terminate(&self) {
+        self.terminating.store(true, Ordering::Release);
+        let _guard = self.sleep_mutex.lock().unwrap();
+        self.work_available.notify_all();
+    }
+
+    /// Wakes sleeping workers because new work was published.
+    ///
+    /// The sleeper count is checked first so that the common case (all
+    /// workers busy) does not touch the mutex at all.  Skipping the notify on
+    /// `sleepers == 0` is safe because a would-be sleeper registers itself
+    /// *before* its final work check (see [`Registry::sleep_until_work`]): if
+    /// this load misses the registration, the sleeper's check — which locks
+    /// the queue mutex our push just released — must see the pushed job.
+    fn notify_work(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep_mutex.lock().unwrap();
+            self.work_available.notify_all();
+        }
+    }
+
+    /// Finds a job for worker `thief`: the injector first (external requests
+    /// get priority so `install` callers are never starved), then the other
+    /// workers' deques in round-robin order starting after the thief.
+    fn steal_work(&self, thief: usize) -> Option<JobRef> {
+        if let Some(job) = self.injector.steal() {
+            return Some(job);
+        }
+        let n = self.queues.len();
+        for offset in 1..n {
+            let victim = (thief + offset) % n;
+            if let Some(job) = self.queues[victim].steal() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Blocks the calling worker until work may be available (or the pool is
+    /// shutting down).  No polling: idle workers cost nothing.
+    ///
+    /// Lost-wakeup protocol: the worker registers itself as a sleeper
+    /// *before* re-checking the queues, and only then waits.  A producer
+    /// either observes the registration (and takes the mutex to notify) or
+    /// published its job before the registration — in which case the re-check
+    /// below, which acquires the queue mutex the producer's push released,
+    /// must observe the job and skip the wait.  Spurious wakeups that find
+    /// the queues already drained by faster workers simply loop back to
+    /// waiting.
+    fn sleep_until_work(&self) {
+        let mut guard = self.sleep_mutex.lock().unwrap();
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        while !self.has_visible_work() && !self.terminating.load(Ordering::Acquire) {
+            guard = self.work_available.wait(guard).unwrap();
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Returns `true` when any queue currently holds a job.  Only meaningful
+    /// as a sleep gate: by the time the caller acts, another worker may have
+    /// taken the job (it then loops back to sleep).
+    fn has_visible_work(&self) -> bool {
+        !self.injector.is_empty() || self.queues.iter().any(|q| !q.is_empty())
+    }
+}
+
+/// Per-worker-thread state.  Lives on the worker's stack for the lifetime of
+/// the thread; other code reaches it through the thread-local pointer.
+pub(crate) struct WorkerThread {
+    registry: Arc<Registry>,
+    index: usize,
+}
+
+thread_local! {
+    static WORKER_THREAD: Cell<*const WorkerThread> = const { Cell::new(ptr::null()) };
+}
+
+impl WorkerThread {
+    /// Returns the current thread's `WorkerThread`, or null when the current
+    /// thread does not belong to any pool.
+    pub(crate) fn current() -> *const WorkerThread {
+        WORKER_THREAD.with(|cell| cell.get())
+    }
+
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    fn queue(&self) -> &JobQueue {
+        &self.registry.queues[self.index]
+    }
+}
+
+/// The body of each worker thread.
+pub(crate) fn worker_main(registry: Arc<Registry>, index: usize) {
+    let worker = WorkerThread { registry, index };
+    WORKER_THREAD.with(|cell| cell.set(&worker));
+
+    loop {
+        let job = worker
+            .queue()
+            .pop()
+            .or_else(|| worker.registry.steal_work(worker.index));
+        match job {
+            // SAFETY: every published JobRef stays valid until executed (the
+            // join/install latch protocol), and is queued exactly once.
+            Some(job) => unsafe { job.execute() },
+            None => {
+                if worker.registry.terminating.load(Ordering::Acquire) {
+                    break;
+                }
+                worker.registry.sleep_until_work();
+            }
+        }
+    }
+
+    WORKER_THREAD.with(|cell| cell.set(ptr::null()));
+}
+
+/// The outcome of one branch of a `join`, kept inert (no unwinding) until
+/// both branches have settled.
+enum BranchResult<R> {
+    Ok(R),
+    Panic(PanicPayload),
+}
+
+/// The worker-thread implementation of [`join`](crate::join).
+///
+/// Pushes `b` onto the local deque (making it stealable), runs `a` inline,
+/// then either pops `b` back and runs it inline, or — if a thief took it —
+/// helps execute other jobs until the thief sets `b`'s latch.
+///
+/// Panic protocol: neither branch's panic is allowed to unwind until *both*
+/// branches have stopped running, because `b`'s job lives on this stack
+/// frame.  If both branches panic, `a`'s payload wins.
+///
+/// # Safety
+///
+/// `worker` must be the current thread's `WorkerThread`.
+pub(crate) unsafe fn join_on_worker<A, B, RA, RB>(worker: &WorkerThread, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(b, SpinLatch::new());
+    let job_b_ref = job_b.as_job_ref();
+    worker.queue().push(job_b_ref);
+    worker.registry.notify_work();
+
+    let result_a = panic::catch_unwind(AssertUnwindSafe(a));
+    let result_b = wait_for_job(worker, &job_b, job_b_ref);
+
+    match (result_a, result_b) {
+        (Ok(ra), BranchResult::Ok(rb)) => (ra, rb),
+        (Err(payload), _) => panic::resume_unwind(payload),
+        (Ok(_), BranchResult::Panic(payload)) => panic::resume_unwind(payload),
+    }
+}
+
+/// Retires the forked branch `job`: runs it inline if nobody stole it,
+/// otherwise executes other work until the thief reports completion.
+unsafe fn wait_for_job<F, R>(
+    worker: &WorkerThread,
+    job: &StackJob<SpinLatch, F, R>,
+    job_ref: JobRef,
+) -> BranchResult<R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    loop {
+        if job.latch().probe() {
+            return match job.take_result() {
+                JobResult::Ok(value) => BranchResult::Ok(value),
+                JobResult::Panic(payload) => BranchResult::Panic(payload),
+                JobResult::None => unreachable!("latch set but no result recorded"),
+            };
+        }
+        match worker.queue().pop() {
+            Some(popped) if popped == job_ref => {
+                // Fast path: nobody stole it, run it on our own stack.  The
+                // panic is contained so the caller can sequence unwinding.
+                return match panic::catch_unwind(AssertUnwindSafe(|| job.run_inline())) {
+                    Ok(value) => BranchResult::Ok(value),
+                    Err(payload) => BranchResult::Panic(payload),
+                };
+            }
+            // A job forked more recently than ours (LIFO order): execute it;
+            // `JobRef::execute` contains panics in the job's result slot.
+            Some(other) => other.execute(),
+            None => {
+                // Our job was stolen.  Help with other work rather than
+                // spinning; if the whole pool is quiet just yield until the
+                // thief finishes.
+                match worker.registry.steal_work(worker.index) {
+                    Some(stolen) => stolen.execute(),
+                    None => thread::yield_now(),
+                }
+            }
+        }
+    }
+}

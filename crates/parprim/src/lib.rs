@@ -1,0 +1,63 @@
+//! Batch-parallel primitives on top of the [`forkjoin`] substrate.
+//!
+//! The parallel-batched interpolation search tree (crate `pbist`) expresses
+//! every batched operation — splitting a sorted batch across subtrees,
+//! counting per-subtree insertions, compacting result buffers — in terms of a
+//! small vocabulary of primitives.  This crate provides that vocabulary:
+//!
+//! * [`map`] / [`for_each`] / [`for_each_mut`] — element-wise parallelism
+//!   over slices,
+//! * [`reduce`] / [`map_reduce`] — parallel folds with an associative
+//!   combiner,
+//! * [`exclusive_scan`] / [`inclusive_scan`] — parallel prefix sums (the
+//!   workhorse of batch partitioning),
+//! * [`merge`] — stable parallel merge of two sorted batches.
+//!
+//! Everything is built on binary [`forkjoin::join`], so these functions work
+//! both inside a [`forkjoin::Pool`] (where recursion forks across workers)
+//! and on ordinary threads (where they degrade to clean sequential loops).
+//! Granularity cutoffs are derived from
+//! [`forkjoin::current_num_threads`]: each primitive aims for a few chunks
+//! per worker and never forks below a fixed sequential floor, so the
+//! fork-join overhead stays amortised.
+//!
+//! # Panic behaviour
+//!
+//! If a user closure panics, the panic propagates out of the primitive once
+//! all forked branches have stopped running (see [`forkjoin::join`]).
+//! Primitives that build an output `Vec` leak the elements already produced
+//! when unwinding (the memory itself is still freed); no garbage values are
+//! ever observed.
+
+#![warn(missing_docs)]
+
+mod merge;
+mod reduce;
+mod scan;
+mod slice;
+
+pub use merge::merge;
+pub use reduce::{map_reduce, reduce};
+pub use scan::{exclusive_scan, inclusive_scan};
+pub use slice::{for_each, for_each_mut, for_each_mut_with_grain, map, map_with_grain};
+
+/// The smallest slice worth forking for.  Below this, per-element work would
+/// have to be enormous for the fork overhead (a deque push/pop plus possible
+/// steal) to pay off.
+const MIN_SEQ_LEN: usize = 1024;
+
+/// How many chunks per worker the primitives aim for.  More than one, so the
+/// scheduler can balance uneven per-element costs; not many more, so the
+/// per-chunk overhead stays small.
+const CHUNKS_PER_THREAD: usize = 8;
+
+/// Picks the sequential cutoff for an input of `len` elements, based on the
+/// current pool size.  Outside any pool this returns at least `len`, making
+/// every primitive a plain sequential loop.
+fn grain_for(len: usize) -> usize {
+    let threads = forkjoin::current_num_threads();
+    if threads <= 1 {
+        return len.max(1);
+    }
+    (len / (threads * CHUNKS_PER_THREAD)).max(MIN_SEQ_LEN)
+}

@@ -1,0 +1,90 @@
+//! Stable parallel merge of two sorted batches.
+
+use std::mem::MaybeUninit;
+
+use crate::grain_for;
+
+/// Merges two sorted slices into one sorted vector, in parallel.
+///
+/// The merge is **stable**: on equal elements, everything from `a` precedes
+/// everything from `b`, and the relative order within each input is
+/// preserved.  Both inputs must already be sorted (ascending); this is only
+/// checked with a `debug_assert!`.
+///
+/// Parallelism comes from the classic divide-and-conquer split: the longer
+/// input is cut at its midpoint, the matching split position in the other
+/// input is found by binary search, and the two sub-merges proceed
+/// independently into disjoint halves of the output.
+///
+/// ```
+/// let merged = parprim::merge(&[1, 3, 5], &[2, 3, 4]);
+/// assert_eq!(merged, vec![1, 2, 3, 3, 4, 5]);
+/// ```
+pub fn merge<T>(a: &[T], b: &[T]) -> Vec<T>
+where
+    T: Ord + Clone + Send + Sync,
+{
+    debug_assert!(a.windows(2).all(|w| w[0] <= w[1]), "input `a` not sorted");
+    debug_assert!(b.windows(2).all(|w| w[0] <= w[1]), "input `b` not sorted");
+    let n = a.len() + b.len();
+    let mut out = Vec::with_capacity(n);
+    merge_into(a, b, out.spare_capacity_mut(), grain_for(n));
+    // SAFETY: `merge_into` writes every slot of `out`'s first `n` positions
+    // exactly once before returning.
+    unsafe { out.set_len(n) };
+    out
+}
+
+fn merge_into<T>(a: &[T], b: &[T], out: &mut [MaybeUninit<T>], grain: usize)
+where
+    T: Ord + Clone + Send + Sync,
+{
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    if a.len() + b.len() <= grain || a.is_empty() || b.is_empty() {
+        seq_merge_into(a, b, out);
+        return;
+    }
+    if a.len() >= b.len() {
+        // Pivot on a's midpoint.  Strictly smaller elements of `b` go left;
+        // elements of `b` equal to the pivot go right, where they land after
+        // `a[ma..]` — preserving a-before-b on ties.
+        let ma = a.len() / 2;
+        let mb = b.partition_point(|x| x < &a[ma]);
+        let (a_lo, a_hi) = a.split_at(ma);
+        let (b_lo, b_hi) = b.split_at(mb);
+        let (out_lo, out_hi) = out.split_at_mut(ma + mb);
+        forkjoin::join(
+            || merge_into(a_lo, b_lo, out_lo, grain),
+            || merge_into(a_hi, b_hi, out_hi, grain),
+        );
+    } else {
+        // Pivot on b's midpoint.  Elements of `a` equal to the pivot go
+        // left, ahead of `b[mb]` — again a-before-b on ties.
+        let mb = b.len() / 2;
+        let ma = a.partition_point(|x| x <= &b[mb]);
+        let (a_lo, a_hi) = a.split_at(ma);
+        let (b_lo, b_hi) = b.split_at(mb);
+        let (out_lo, out_hi) = out.split_at_mut(ma + mb);
+        forkjoin::join(
+            || merge_into(a_lo, b_lo, out_lo, grain),
+            || merge_into(a_hi, b_hi, out_hi, grain),
+        );
+    }
+}
+
+fn seq_merge_into<T>(a: &[T], b: &[T], out: &mut [MaybeUninit<T>])
+where
+    T: Ord + Clone,
+{
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        let take_a = j == b.len() || (i < a.len() && a[i] <= b[j]);
+        if take_a {
+            slot.write(a[i].clone());
+            i += 1;
+        } else {
+            slot.write(b[j].clone());
+            j += 1;
+        }
+    }
+}

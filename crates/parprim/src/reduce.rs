@@ -1,0 +1,65 @@
+//! Parallel folds: [`reduce`] and [`map_reduce`].
+
+use crate::grain_for;
+
+/// Maps every element of `items` through `map` and folds the mapped values
+/// with `combine`, in parallel.
+///
+/// `combine` must be associative and `identity` must be its neutral element
+/// (`combine(identity, x) == x == combine(x, identity)`); the primitive is
+/// free to regroup the fold across workers, so a non-associative combiner or
+/// a non-neutral identity produces nondeterministic results.
+///
+/// ```
+/// // Longest string length.
+/// let words = ["a", "bbb", "cc"];
+/// let longest = parprim::map_reduce(&words, 0, |w| w.len(), usize::max);
+/// assert_eq!(longest, 3);
+/// ```
+pub fn map_reduce<T, U, M, C>(items: &[T], identity: U, map: M, combine: C) -> U
+where
+    T: Sync,
+    U: Send + Sync + Clone,
+    M: Fn(&T) -> U + Sync,
+    C: Fn(U, U) -> U + Sync,
+{
+    map_reduce_rec(items, grain_for(items.len()), &identity, &map, &combine)
+}
+
+fn map_reduce_rec<T, U, M, C>(items: &[T], grain: usize, identity: &U, map: &M, combine: &C) -> U
+where
+    T: Sync,
+    U: Send + Sync + Clone,
+    M: Fn(&T) -> U + Sync,
+    C: Fn(U, U) -> U + Sync,
+{
+    if items.len() <= grain {
+        return items
+            .iter()
+            .fold(identity.clone(), |acc, x| combine(acc, map(x)));
+    }
+    let mid = items.len() / 2;
+    let (lo, hi) = items.split_at(mid);
+    let (a, b) = forkjoin::join(
+        || map_reduce_rec(lo, grain, identity, map, combine),
+        || map_reduce_rec(hi, grain, identity, map, combine),
+    );
+    combine(a, b)
+}
+
+/// Folds `items` with the associative `combine`, in parallel.
+///
+/// A convenience wrapper over [`map_reduce`] with a cloning map step.
+///
+/// ```
+/// let values: Vec<u64> = (1..=100).collect();
+/// let sum = parprim::reduce(&values, 0, |a, b| a + b);
+/// assert_eq!(sum, 5050);
+/// ```
+pub fn reduce<T, C>(items: &[T], identity: T, combine: C) -> T
+where
+    T: Clone + Send + Sync,
+    C: Fn(T, T) -> T + Sync,
+{
+    map_reduce(items, identity, T::clone, combine)
+}

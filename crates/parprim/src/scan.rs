@@ -1,0 +1,112 @@
+//! Parallel prefix sums: [`exclusive_scan`] and [`inclusive_scan`].
+//!
+//! Both use the classic two-level blocked algorithm: the input is cut into
+//! chunks, the per-chunk totals are computed in parallel, the (short) vector
+//! of totals is scanned sequentially to get each chunk's starting offset, and
+//! finally every chunk writes its portion of the output in parallel starting
+//! from its offset.  Total work is ~2n combines; depth is O(n / threads).
+
+use std::mem::MaybeUninit;
+
+use crate::grain_for;
+use crate::slice::{for_each_mut_with_grain, map_with_grain};
+
+/// Computes the exclusive prefix fold of `input` under the associative
+/// `combine`, returning the output vector and the fold of the whole input.
+///
+/// `out[i]` is the fold of `input[..i]` starting from `identity`; `out[0]` is
+/// `identity` itself.  The returned total equals the fold of the entire
+/// slice, which batch-partitioning callers invariably need alongside the
+/// offsets.
+///
+/// ```
+/// let (offsets, total) = parprim::exclusive_scan(&[3u64, 1, 4], 0, |a, b| a + b);
+/// assert_eq!(offsets, vec![0, 3, 4]);
+/// assert_eq!(total, 8);
+/// ```
+pub fn exclusive_scan<T, C>(input: &[T], identity: T, combine: C) -> (Vec<T>, T)
+where
+    T: Clone + Send + Sync,
+    C: Fn(&T, &T) -> T + Sync,
+{
+    scan_impl(input, identity, &combine, false)
+}
+
+/// Computes the inclusive prefix fold of `input` under the associative
+/// `combine`: `out[i]` is the fold of `input[..=i]` starting from `identity`.
+///
+/// ```
+/// let running = parprim::inclusive_scan(&[3u64, 1, 4], 0, |a, b| a + b);
+/// assert_eq!(running, vec![3, 4, 8]);
+/// ```
+pub fn inclusive_scan<T, C>(input: &[T], identity: T, combine: C) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    C: Fn(&T, &T) -> T + Sync,
+{
+    scan_impl(input, identity, &combine, true).0
+}
+
+fn scan_impl<T, C>(input: &[T], identity: T, combine: &C, inclusive: bool) -> (Vec<T>, T)
+where
+    T: Clone + Send + Sync,
+    C: Fn(&T, &T) -> T + Sync,
+{
+    let n = input.len();
+    if n == 0 {
+        return (Vec::new(), identity);
+    }
+    let chunk_len = grain_for(n);
+    let mut out = Vec::with_capacity(n);
+
+    // Phase 1: fold each chunk down to its total, in parallel.  Each element
+    // here is a whole chunk of work, so fork per element (grain 1) — the
+    // element-count heuristic would see "a few dozen chunks" and refuse to
+    // fork at all.  Totals are folds of the chunk's *elements only*: seeding
+    // each chunk with `identity` would count a non-neutral identity once per
+    // chunk instead of once overall (it enters exactly once, in phase 2).
+    let chunks: Vec<&[T]> = input.chunks(chunk_len).collect();
+    let totals: Vec<T> = map_with_grain(&chunks, 1, |c| {
+        let (first, rest) = c.split_first().expect("chunks of non-empty input");
+        rest.iter().fold(first.clone(), |acc, x| combine(&acc, x))
+    });
+
+    // Phase 2: a sequential exclusive scan over the (few) chunk totals gives
+    // each chunk the fold of everything before it.
+    let mut offsets = Vec::with_capacity(totals.len());
+    let mut acc = identity;
+    for t in &totals {
+        offsets.push(acc.clone());
+        acc = combine(&acc, t);
+    }
+    let total = acc;
+
+    // Phase 3: each chunk writes its slice of the output, starting from its
+    // offset, in parallel.
+    {
+        let spare = out.spare_capacity_mut();
+        let mut tasks: Vec<(&[T], &mut [MaybeUninit<T>], T)> = Vec::with_capacity(chunks.len());
+        let mut rest = spare;
+        for (chunk, offset) in chunks.iter().zip(offsets) {
+            let (dst, tail) = rest.split_at_mut(chunk.len());
+            tasks.push((chunk, dst, offset));
+            rest = tail;
+        }
+        for_each_mut_with_grain(&mut tasks, 1, |(chunk, dst, offset)| {
+            let mut acc = offset.clone();
+            for (x, slot) in chunk.iter().zip(dst.iter_mut()) {
+                if inclusive {
+                    acc = combine(&acc, x);
+                    slot.write(acc.clone());
+                } else {
+                    slot.write(acc.clone());
+                    acc = combine(&acc, x);
+                }
+            }
+        });
+    }
+    // SAFETY: the tasks cover the first `n` spare slots exactly, and
+    // `for_each_mut` returned normally, so all `n` slots are initialised.
+    unsafe { out.set_len(n) };
+    (out, total)
+}

@@ -1,0 +1,28 @@
+//! Parallel-batched interpolation search tree (the AksenovKM23 subject).
+//!
+//! An interpolation search tree (IST) stores keys drawn from a smooth
+//! distribution and descends by *interpolating* — guessing a child index from
+//! the key's position within the node's key range — rather than binary
+//! searching, giving expected `O(log log n)` searches.  The paper batches
+//! operations (search/insert/delete arrive as sorted batches) and processes
+//! each batch in parallel across the tree, using exactly the primitives in
+//! `parprim`: partition the batch across children with binary searches,
+//! recurse with `forkjoin::join`, and combine per-subtree counts with scans.
+//!
+//! # Current state
+//!
+//! This crate is the structural skeleton for that reproduction: the node
+//! representation ([`node`]), the key-interpolation trait
+//! ([`node::InterpolateKey`]), and a first [`tree::IstSet`] supporting bulk
+//! construction from sorted keys, single lookups via interpolated descent,
+//! and batched parallel lookups.  Batched *updates* (the paper's insert and
+//! delete with subtree rebuilding) are the next milestones and will land on
+//! top of this layout.
+
+#![warn(missing_docs)]
+
+pub mod node;
+pub mod tree;
+
+pub use node::InterpolateKey;
+pub use tree::IstSet;

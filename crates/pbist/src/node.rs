@@ -1,0 +1,142 @@
+//! Node representation and the key-interpolation trait.
+//!
+//! An IST node's fanout grows with the size of its subtree (the paper uses
+//! `Θ(√n)` children at the root of an `n`-key subtree), so child arrays are
+//! `Vec`s rather than fixed-size arrays.  Each inner node keeps the router
+//! keys separating its children plus the bounds of its key range, which is
+//! what the interpolation step needs.
+
+/// Maps a key to a position on the real line so a node can interpolate.
+///
+/// Interpolation search needs more than `Ord`: it must estimate *where*
+/// between two keys a third one falls.  Implementations must be monotone
+/// (`a <= b` implies `to_ordinal(a) <= to_ordinal(b)`); a poor (but still
+/// monotone) mapping only costs performance, never correctness, because the
+/// descent falls back to the routers' order.
+pub trait InterpolateKey: Ord {
+    /// The key's position on the real line.
+    fn to_ordinal(&self) -> f64;
+}
+
+macro_rules! impl_interpolate_for_ints {
+    ($($t:ty),*) => {
+        $(impl InterpolateKey for $t {
+            fn to_ordinal(&self) -> f64 {
+                *self as f64
+            }
+        })*
+    };
+}
+
+impl_interpolate_for_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Keys per leaf before a subtree is given inner structure.
+///
+/// Leaves are scanned with interpolation search over a contiguous array, so
+/// they can be sizeable; this also keeps the tree shallow for the batch
+/// recursion.
+pub const LEAF_CAPACITY: usize = 1024;
+
+/// Maximum children of one inner node.  The ideal IST fanout is `Θ(√n)`;
+/// capping it bounds per-node router scans while keeping depth `O(log log n)`
+/// in the sizes this reproduction currently targets.
+pub const MAX_FANOUT: usize = 64;
+
+/// A subtree: either a sorted leaf array or an inner routing node.
+#[derive(Debug, Clone)]
+pub enum Node<K> {
+    /// A sorted, deduplicated run of keys.
+    Leaf(LeafNode<K>),
+    /// A routing node over `children.len()` subtrees.
+    Inner(InnerNode<K>),
+}
+
+impl<K> Node<K> {
+    /// Number of keys stored in this subtree.
+    pub fn len(&self) -> usize {
+        match self {
+            Node::Leaf(leaf) => leaf.keys.len(),
+            Node::Inner(inner) => inner.len,
+        }
+    }
+
+    /// Returns `true` when the subtree holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A leaf: a sorted, deduplicated array of keys.
+#[derive(Debug, Clone)]
+pub struct LeafNode<K> {
+    /// The keys, strictly increasing.
+    pub keys: Vec<K>,
+}
+
+/// An inner node routing to `children.len()` subtrees.
+///
+/// `routers[i]` is the smallest key of `children[i + 1]`; a search for `key`
+/// descends into `children[partition_point(routers, r <= key)]`.  The
+/// interpolation step uses `min`/`max` (the smallest and largest key in this
+/// subtree) to guess that index before touching the routers.
+#[derive(Debug, Clone)]
+pub struct InnerNode<K> {
+    /// Separator keys, strictly increasing; `len == children.len() - 1`.
+    pub routers: Vec<K>,
+    /// The subtrees, each non-empty.
+    pub children: Vec<Node<K>>,
+    /// Total number of keys under this node.
+    pub len: usize,
+    /// Smallest key in this subtree (interpolation lower bound).
+    pub min: K,
+    /// Largest key in this subtree (interpolation upper bound).
+    pub max: K,
+}
+
+/// Guesses which of `len` evenly-spread slots `key` falls into, given the
+/// bounds of the range.  Returns a slot in `[0, len)`.
+///
+/// This is the single arithmetic step that gives interpolation search its
+/// `O(log log n)` behaviour on smooth key distributions; callers must treat
+/// it as a *hint* and correct with the actual routers or keys.
+pub fn interpolate_slot<K: InterpolateKey>(key: &K, min: &K, max: &K, len: usize) -> usize {
+    debug_assert!(len > 0);
+    let lo = min.to_ordinal();
+    let hi = max.to_ordinal();
+    let k = key.to_ordinal();
+    if !(hi > lo) || !k.is_finite() {
+        return 0;
+    }
+    let frac = ((k - lo) / (hi - lo)).clamp(0.0, 1.0);
+    ((frac * len as f64) as usize).min(len - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolate_slot_is_monotone_and_bounded() {
+        let (min, max) = (0u64, 1000u64);
+        let mut prev = 0usize;
+        for key in 0..=1000u64 {
+            let slot = interpolate_slot(&key, &min, &max, 10);
+            assert!(slot < 10);
+            assert!(slot >= prev);
+            prev = slot;
+        }
+        assert_eq!(interpolate_slot(&0u64, &min, &max, 10), 0);
+        assert_eq!(interpolate_slot(&1000u64, &min, &max, 10), 9);
+    }
+
+    #[test]
+    fn interpolate_slot_handles_degenerate_range() {
+        assert_eq!(interpolate_slot(&5u64, &5u64, &5u64, 4), 0);
+    }
+
+    #[test]
+    fn interpolate_slot_clamps_out_of_range_keys() {
+        assert_eq!(interpolate_slot(&0u64, &100u64, &200u64, 8), 0);
+        assert_eq!(interpolate_slot(&999u64, &100u64, &200u64, 8), 7);
+    }
+}

@@ -1,0 +1,202 @@
+//! The interpolation search tree set: bulk construction and lookups.
+
+use crate::node::{
+    interpolate_slot, InnerNode, InterpolateKey, LeafNode, Node, LEAF_CAPACITY, MAX_FANOUT,
+};
+
+/// A set of keys stored as an interpolation search tree.
+///
+/// Construction is bulk-only for now ([`IstSet::from_sorted`] /
+/// [`IstSet::from_unsorted`]) and builds subtrees in parallel when called
+/// inside a [`forkjoin::Pool`].  Lookups descend by interpolation
+/// ([`IstSet::contains`]) and batches of lookups run in parallel
+/// ([`IstSet::batch_contains`]).  Batched inserts and deletes with subtree
+/// rebuilding — the paper's core contribution — are future work layered on
+/// this representation.
+///
+/// ```
+/// let set = pbist::IstSet::from_unsorted(vec![5u64, 1, 9, 1]);
+/// assert!(set.contains(&5));
+/// assert!(!set.contains(&2));
+/// assert_eq!(set.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IstSet<K> {
+    root: Option<Node<K>>,
+}
+
+impl<K: InterpolateKey + Clone + Send + Sync> IstSet<K> {
+    /// Builds a tree from keys that are already sorted and deduplicated
+    /// (checked with a `debug_assert!`).
+    pub fn from_sorted(keys: Vec<K>) -> IstSet<K> {
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys must be strictly increasing"
+        );
+        if keys.is_empty() {
+            return IstSet { root: None };
+        }
+        IstSet {
+            root: Some(build(&keys)),
+        }
+    }
+
+    /// Builds a tree from arbitrary keys; sorts and deduplicates them first.
+    pub fn from_unsorted(mut keys: Vec<K>) -> IstSet<K> {
+        keys.sort();
+        keys.dedup();
+        IstSet::from_sorted(keys)
+    }
+
+    /// Number of keys in the set.
+    pub fn len(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::len)
+    }
+
+    /// Returns `true` when the set holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Returns `true` when `key` is present, descending by interpolation.
+    pub fn contains(&self, key: &K) -> bool {
+        let mut node = match &self.root {
+            Some(root) => root,
+            None => return false,
+        };
+        loop {
+            match node {
+                Node::Leaf(leaf) => return leaf_contains(&leaf.keys, key),
+                Node::Inner(inner) => {
+                    node = &inner.children[child_index(inner, key)];
+                }
+            }
+        }
+    }
+
+    /// Answers one membership query per element of `queries`, in order,
+    /// in parallel when called inside a [`forkjoin::Pool`].
+    ///
+    /// This is the query-batch interface shared with
+    /// `baselines::SortedArraySet`.  It currently fans out per query; the
+    /// paper's sorted-batch traversal (partition the batch once per node,
+    /// recurse into children jointly) will replace the per-query descent.
+    pub fn batch_contains(&self, queries: &[K]) -> Vec<bool> {
+        parprim::map(queries, |q| self.contains(q))
+    }
+}
+
+/// Picks the child of `inner` whose key range covers `key`: interpolate a
+/// guess, then correct it against the routers (cheap check first, binary
+/// search only when the guess is off).
+fn child_index<K: InterpolateKey>(inner: &InnerNode<K>, key: &K) -> usize {
+    let n = inner.children.len();
+    let guess = interpolate_slot(key, &inner.min, &inner.max, n);
+    let fits_left = guess == 0 || inner.routers[guess - 1] <= *key;
+    let fits_right = guess == n - 1 || *key < inner.routers[guess];
+    if fits_left && fits_right {
+        return guess;
+    }
+    inner.routers.partition_point(|r| r <= key)
+}
+
+/// Interpolation search over one sorted leaf array.
+///
+/// Each probe interpolates within the remaining `[lo, hi)` window; the window
+/// shrinks every iteration, so this terminates even for key distributions
+/// where the interpolation guess is always wrong (then it degrades towards a
+/// linear scan — the classic interpolation-search worst case).
+fn leaf_contains<K: InterpolateKey>(keys: &[K], key: &K) -> bool {
+    let mut lo = 0;
+    let mut hi = keys.len();
+    while lo < hi {
+        let slot = lo + interpolate_slot(key, &keys[lo], &keys[hi - 1], hi - lo);
+        match keys[slot].cmp(key) {
+            std::cmp::Ordering::Equal => return true,
+            std::cmp::Ordering::Less => lo = slot + 1,
+            std::cmp::Ordering::Greater => hi = slot,
+        }
+    }
+    false
+}
+
+/// Builds the subtree for one strictly-increasing run of keys, recursing over
+/// children in parallel via `parprim::map`.
+fn build<K: InterpolateKey + Clone + Send + Sync>(keys: &[K]) -> Node<K> {
+    debug_assert!(!keys.is_empty());
+    if keys.len() <= LEAF_CAPACITY {
+        return Node::Leaf(LeafNode {
+            keys: keys.to_vec(),
+        });
+    }
+    // Ideal IST fanout is Θ(√n), capped to bound router-array sizes.
+    let fanout = ((keys.len() as f64).sqrt() as usize).clamp(2, MAX_FANOUT);
+    let chunk_len = keys.len().div_ceil(fanout);
+    let chunks: Vec<&[K]> = keys.chunks(chunk_len).collect();
+    let routers: Vec<K> = chunks[1..].iter().map(|c| c[0].clone()).collect();
+    // Each element is a whole subtree build: fork per chunk, not by the
+    // element-count heuristic (which would never fork over <= 64 children).
+    let children = parprim::map_with_grain(&chunks, 1, |c| build(c));
+    Node::Inner(InnerNode {
+        routers,
+        children,
+        len: keys.len(),
+        min: keys[0].clone(),
+        max: keys[keys.len() - 1].clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree_contains_nothing() {
+        let set: IstSet<u64> = IstSet::from_sorted(Vec::new());
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        assert!(!set.contains(&42));
+    }
+
+    #[test]
+    fn small_tree_is_one_leaf() {
+        let set = IstSet::from_unsorted(vec![3u64, 1, 2]);
+        assert!(matches!(set.root, Some(Node::Leaf(_))));
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn large_tree_agrees_with_binary_search() {
+        // Non-uniform gaps so interpolation guesses are frequently wrong.
+        let keys: Vec<u64> = (0..50_000u64).map(|i| i * i % 1_000_003 + i).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let set = IstSet::from_sorted(sorted.clone());
+        assert_eq!(set.len(), sorted.len());
+        for probe in (0..2_000_000u64).step_by(997) {
+            assert_eq!(
+                set.contains(&probe),
+                sorted.binary_search(&probe).is_ok(),
+                "probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_build_and_batch_query_inside_pool() {
+        let keys: Vec<u64> = (0..30_000u64).map(|i| i * 7).collect();
+        let queries: Vec<u64> = (0..10_000u64).map(|i| i * 11).collect();
+        let pool = forkjoin::Pool::new(4).unwrap();
+        let (set, batched) = pool.install(|| {
+            let set = IstSet::from_sorted(keys.clone());
+            let batched = set.batch_contains(&queries);
+            (set, batched)
+        });
+        let expected: Vec<bool> = queries.iter().map(|q| q % 7 == 0 && *q < 210_000).collect();
+        assert_eq!(batched, expected);
+        // The tree built inside the pool answers identically outside it.
+        assert!(set.contains(&21));
+        assert!(!set.contains(&22));
+    }
+}

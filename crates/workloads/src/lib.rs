@@ -1,0 +1,241 @@
+//! Deterministic workload generators for benchmarks and tests.
+//!
+//! The paper evaluates the batched interpolation search tree on key
+//! distributions of varying skew; this crate reproduces those inputs without
+//! pulling in an external RNG crate.  Everything is seeded and deterministic,
+//! so a benchmark run (or a failing test) can be replayed exactly.
+//!
+//! * [`SplitMix64`] — the tiny, high-quality PRNG underlying all generators.
+//! * [`uniform_keys`] / [`uniform_keys_distinct`] — i.i.d. uniform keys.
+//! * [`ZipfSampler`] — Zipf-distributed ranks, for skewed access patterns.
+
+use std::ops::Range;
+
+/// Fast 64-bit PRNG (Steele, Lea & Flood's SplitMix64).
+///
+/// Passes BigCrush, needs only 64 bits of state, and is cheap enough that
+/// generation never dominates a benchmark's setup phase.  Not
+/// cryptographically secure.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.  The same seed always produces the
+    /// same sequence.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next pseudo-random 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a value uniformly distributed in `[0, bound)`.
+    ///
+    /// Uses the widening-multiply trick; the modulo bias is at most
+    /// `bound / 2^64`, which is negligible for every workload size here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Returns a value uniformly distributed in `[0.0, 1.0)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Generates `count` keys drawn i.i.d. uniformly from `range`.
+/// Duplicates are possible (and likely, for narrow ranges).
+///
+/// ```
+/// let keys = workloads::uniform_keys(42, 8, 0..100);
+/// assert_eq!(keys.len(), 8);
+/// assert!(keys.iter().all(|k| (0..100).contains(k)));
+/// // Same seed, same keys.
+/// assert_eq!(keys, workloads::uniform_keys(42, 8, 0..100));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `range` is empty.
+pub fn uniform_keys(seed: u64, count: usize, range: Range<u64>) -> Vec<u64> {
+    assert!(range.start < range.end, "empty key range");
+    let width = range.end - range.start;
+    let mut rng = SplitMix64::new(seed);
+    (0..count)
+        .map(|_| range.start + rng.next_below(width))
+        .collect()
+}
+
+/// Generates `count` **distinct** keys from `range`, in random order.
+///
+/// Keys are drawn uniformly and rejected on collision, so `count` should be
+/// well below the range width (it must not exceed it).
+///
+/// # Panics
+///
+/// Panics if `range` has fewer than `count` values.
+pub fn uniform_keys_distinct(seed: u64, count: usize, range: Range<u64>) -> Vec<u64> {
+    let width = range.end.saturating_sub(range.start);
+    assert!(
+        u64::try_from(count).map_or(false, |c| c <= width),
+        "range narrower than requested key count"
+    );
+    let mut rng = SplitMix64::new(seed);
+    let mut seen = std::collections::HashSet::with_capacity(count);
+    let mut keys = Vec::with_capacity(count);
+    while keys.len() < count {
+        let key = range.start + rng.next_below(width);
+        if seen.insert(key) {
+            keys.push(key);
+        }
+    }
+    keys
+}
+
+/// Samples ranks `0..n` from a Zipf distribution with exponent `theta`:
+/// rank `i` is drawn with probability proportional to `1 / (i + 1)^theta`.
+///
+/// Implemented with a precomputed cumulative table and binary search — O(n)
+/// memory and setup, O(log n) per sample — which is plenty for the workload
+/// sizes this reproduction targets.  `theta = 0` degenerates to uniform;
+/// `theta ≈ 1` matches the skewed YCSB-style workloads from the paper's
+/// evaluation.
+///
+/// ```
+/// let mut zipf = workloads::ZipfSampler::new(7, 1000, 0.99);
+/// let rank = zipf.next();
+/// assert!(rank < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    rng: SplitMix64,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over ranks `0..n` with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is negative or non-finite.
+    pub fn new(seed: u64, n: usize, theta: f64) -> ZipfSampler {
+        assert!(n > 0, "a Zipf distribution needs at least one rank");
+        assert!(theta >= 0.0 && theta.is_finite(), "invalid Zipf exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        ZipfSampler {
+            cdf,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Draws the next rank in `[0, n)`.
+    pub fn next(&mut self) -> usize {
+        let u = self.rng.next_f64();
+        self.cdf
+            .partition_point(|&p| p <= u)
+            .min(self.cdf.len() - 1)
+    }
+
+    /// Draws `count` ranks at once.
+    pub fn take(&mut self, count: usize) -> Vec<usize> {
+        (0..count).map(|_| self.next()).collect()
+    }
+
+    /// Number of distinct ranks this sampler draws from.
+    pub fn num_ranks(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_not_constant() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            assert!(rng.next_below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_keys_land_in_range() {
+        let keys = uniform_keys(3, 1000, 10..20);
+        assert_eq!(keys.len(), 1000);
+        assert!(keys.iter().all(|k| (10..20).contains(k)));
+    }
+
+    #[test]
+    fn distinct_keys_are_distinct() {
+        let keys = uniform_keys_distinct(5, 500, 0..10_000);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 500);
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut zipf = ZipfSampler::new(17, 100, 1.0);
+        let samples = zipf.take(20_000);
+        assert!(samples.iter().all(|&r| r < 100));
+        let head = samples.iter().filter(|&&r| r == 0).count();
+        let tail = samples.iter().filter(|&&r| r == 99).count();
+        // Rank 0 is ~100x more likely than rank 99 at theta = 1.
+        assert!(head > tail * 4, "head={head} tail={tail}");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let mut zipf = ZipfSampler::new(23, 10, 0.0);
+        let samples = zipf.take(50_000);
+        for rank in 0..10 {
+            let count = samples.iter().filter(|&&r| r == rank).count();
+            // Expected 5000 each; allow a wide tolerance.
+            assert!((3500..6500).contains(&count), "rank {rank}: {count}");
+        }
+    }
+}

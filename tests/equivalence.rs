@@ -1,0 +1,53 @@
+//! End-to-end equivalence across the workspace layers: workload generators
+//! produce keys and queries, the `pbist` tree and the `baselines` sorted
+//! array ingest the same keys, and both must answer the same query batch
+//! identically — sequentially and under a multi-worker pool.
+
+use pbist_repro::{baselines, forkjoin, parprim, pbist, workloads};
+
+#[test]
+fn tree_and_sorted_array_agree_on_generated_workload() {
+    let keys = workloads::uniform_keys_distinct(0xA5EE, 20_000, 0..1_000_000);
+    let queries = workloads::uniform_keys(0xBEEF, 30_000, 0..1_000_000);
+
+    let array = baselines::SortedArraySet::from_unsorted(keys.clone());
+    let tree = pbist::IstSet::from_unsorted(keys);
+    assert_eq!(array.len(), tree.len());
+
+    let sequential: Vec<bool> = queries.iter().map(|q| array.contains(q)).collect();
+    assert_eq!(array.batch_contains(&queries), sequential);
+    assert_eq!(tree.batch_contains(&queries), sequential);
+
+    let pool = forkjoin::Pool::new(4).unwrap();
+    let (from_array, from_tree) = pool.install(|| {
+        (
+            array.batch_contains(&queries),
+            tree.batch_contains(&queries),
+        )
+    });
+    assert_eq!(from_array, sequential);
+    assert_eq!(from_tree, sequential);
+}
+
+#[test]
+fn zipf_queries_hit_the_hot_keys() {
+    let keys = workloads::uniform_keys_distinct(1, 1000, 0..1_000_000);
+    let tree = pbist::IstSet::from_unsorted(keys.clone());
+    let mut zipf = workloads::ZipfSampler::new(2, keys.len(), 0.99);
+    let queries: Vec<u64> = zipf.take(5000).into_iter().map(|rank| keys[rank]).collect();
+    // Every Zipf-selected query is a real key, so all lookups must hit.
+    let hits = tree.batch_contains(&queries);
+    assert!(hits.iter().all(|&h| h));
+}
+
+#[test]
+fn scan_partitions_a_batch_by_subtree_counts() {
+    // The shape of the paper's batch partitioning: per-bucket counts scanned
+    // into offsets, validated here against direct arithmetic.
+    let counts: Vec<usize> = (0..257).map(|i| (i * 31) % 97).collect();
+    let (offsets, total) = parprim::exclusive_scan(&counts, 0, |a, b| a + b);
+    assert_eq!(total, counts.iter().sum::<usize>());
+    for (i, offset) in offsets.iter().enumerate() {
+        assert_eq!(*offset, counts[..i].iter().sum::<usize>());
+    }
+}
