@@ -1,24 +1,37 @@
 //! Reference data structures the paper's tree is compared against.
 //!
 //! The simplest competitor to an interpolation search tree is a flat sorted
-//! array: perfect space locality, `O(log n)` lookups, but no cheap updates.
-//! [`SortedArraySet`] provides that baseline, including a batched lookup path
-//! ([`SortedArraySet::batch_contains`]) that answers a whole query batch in
-//! parallel through `parprim` — the same batch interface the `pbist` tree
-//! exposes, so benchmark harnesses can treat both uniformly.
+//! array: perfect space locality, `O(log n)` lookups, and — in the batched
+//! model — updates by wholesale merge/filter.  [`SortedArraySet`] provides
+//! that baseline as a full [`batchapi::BatchedSet`]: membership batches fan
+//! out through `parprim::map`, inserts merge the new keys in with
+//! `parprim::merge`, and removals compact the survivors with
+//! `parprim::filter`.  Benchmark harnesses drive it and `pbist::IstSet`
+//! through the same trait.
+
+#![warn(missing_docs)]
 
 use std::fmt::Debug;
 
-/// An immutable set of keys stored as one sorted, deduplicated array.
+use batchapi::{Batch, BatchedSet};
+
+/// A set of keys stored as one sorted, deduplicated array.
+///
+/// Point queries are binary searches; batched operations (through the
+/// [`BatchedSet`] impl) run in parallel inside a `forkjoin::Pool`.  Updates
+/// rewrite the whole array — O(n + b) per batch, the price a flat layout pays
+/// — which is exactly the trade-off the interpolation search tree is built to
+/// beat.
 #[derive(Debug, Clone, Default)]
 pub struct SortedArraySet<K: Ord> {
     keys: Vec<K>,
 }
 
 impl<K: Ord> SortedArraySet<K> {
-    /// Builds a set from arbitrary keys; sorts and deduplicates them.
+    /// Builds a set from arbitrary keys; sorts (unstable — keys are plain
+    /// `Ord` values with no tie order to preserve) and deduplicates them.
     pub fn from_unsorted(mut keys: Vec<K>) -> SortedArraySet<K> {
-        keys.sort();
+        keys.sort_unstable();
         keys.dedup();
         SortedArraySet { keys }
     }
@@ -53,21 +66,65 @@ impl<K: Ord> SortedArraySet<K> {
         self.keys.partition_point(|k| k < key)
     }
 
-    /// Answers one membership query per element of `queries`, in order.
-    ///
-    /// Runs the queries in parallel when called inside a
-    /// [`forkjoin::Pool`](https://docs.rs/forkjoin) via `parprim::map`; on an
-    /// ordinary thread it degrades to a sequential loop.
-    pub fn batch_contains(&self, queries: &[K]) -> Vec<bool>
-    where
-        K: Sync,
-    {
-        parprim::map(queries, |q| self.contains(q))
-    }
-
     /// The underlying sorted keys.
     pub fn as_slice(&self) -> &[K] {
         &self.keys
+    }
+}
+
+impl<K: Ord + Clone + Send + Sync> BatchedSet<K> for SortedArraySet<K> {
+    fn len(&self) -> usize {
+        SortedArraySet::len(self)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        SortedArraySet::contains(self, key)
+    }
+
+    fn rank(&self, key: &K) -> usize {
+        SortedArraySet::rank(self, key)
+    }
+
+    fn min(&self) -> Option<&K> {
+        self.keys.first()
+    }
+
+    fn max(&self) -> Option<&K> {
+        self.keys.last()
+    }
+
+    fn batch_contains(&self, batch: &Batch<K>) -> Vec<bool> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        parprim::map(batch.as_slice(), |q| self.contains(q))
+    }
+
+    fn batch_insert(&mut self, batch: &Batch<K>) -> Vec<bool> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let inserted = parprim::map(batch.as_slice(), |q| !self.contains(q));
+        // The genuinely new keys, read off the flags just computed: a sorted
+        // subsequence of the batch, disjoint from the existing keys, so the
+        // merged array stays strictly increasing.
+        let fresh: Vec<K> = batch
+            .iter()
+            .zip(&inserted)
+            .filter(|(_, &new)| new)
+            .map(|(q, _)| q.clone())
+            .collect();
+        self.keys = parprim::merge(&self.keys, &fresh);
+        inserted
+    }
+
+    fn batch_remove(&mut self, batch: &Batch<K>) -> Vec<bool> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let removed = parprim::map(batch.as_slice(), |q| self.contains(q));
+        self.keys = parprim::filter(&self.keys, |k| batch.binary_search(k).is_err());
+        removed
     }
 }
 
@@ -99,19 +156,62 @@ mod tests {
     #[test]
     fn batch_contains_matches_pointwise_queries() {
         let set = SortedArraySet::from_unsorted((0..1000u64).map(|i| i * 2).collect());
-        let queries: Vec<u64> = (0..4096).map(|i| (i * 7) % 2500).collect();
-        let batched = set.batch_contains(&queries);
-        let pointwise: Vec<bool> = queries.iter().map(|q| set.contains(q)).collect();
+        let batch = Batch::from_unsorted((0..4096).map(|i| (i * 7) % 2500).collect());
+        let batched = set.batch_contains(&batch);
+        let pointwise: Vec<bool> = batch.iter().map(|q| set.contains(q)).collect();
         assert_eq!(batched, pointwise);
     }
 
     #[test]
-    fn batch_contains_works_inside_a_pool() {
-        let set = SortedArraySet::from_unsorted((0..10_000u64).collect());
-        let queries: Vec<u64> = (0..50_000).map(|i| i % 20_000).collect();
+    fn batch_insert_merges_and_reports_new_keys() {
+        let mut set = SortedArraySet::from_unsorted((0..10u64).map(|i| i * 2).collect());
+        let batch = Batch::from_unsorted(vec![1u64, 2, 3, 18, 19, 40]);
+        let inserted = set.batch_insert(&batch);
+        assert_eq!(inserted, vec![true, false, true, false, true, true]);
+        assert_eq!(
+            set.as_slice(),
+            &[0, 1, 2, 3, 4, 6, 8, 10, 12, 14, 16, 18, 19, 40]
+        );
+    }
+
+    #[test]
+    fn batch_remove_compacts_and_reports_hits() {
+        let mut set = SortedArraySet::from_unsorted((0..10u64).collect());
+        let batch = Batch::from_unsorted(vec![0u64, 3, 4, 11]);
+        let removed = set.batch_remove(&batch);
+        assert_eq!(removed, vec![true, true, true, false]);
+        assert_eq!(set.as_slice(), &[1, 2, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn empty_batches_are_no_ops() {
+        let mut set = SortedArraySet::from_unsorted(vec![1u64, 2, 3]);
+        let empty = Batch::empty();
+        assert!(set.batch_contains(&empty).is_empty());
+        assert!(set.batch_insert(&empty).is_empty());
+        assert!(set.batch_remove(&empty).is_empty());
+        assert_eq!(set.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn batch_ops_work_inside_a_pool() {
+        let mut set = SortedArraySet::from_unsorted((0..10_000u64).map(|i| i * 3).collect());
+        let batch = Batch::from_unsorted((0..50_000u64).map(|i| i % 20_000).collect());
         let pool = forkjoin::Pool::new(4).unwrap();
-        let batched = pool.install(|| set.batch_contains(&queries));
-        let pointwise: Vec<bool> = queries.iter().map(|q| set.contains(q)).collect();
-        assert_eq!(batched, pointwise);
+        let (hits, inserted) = pool.install(|| {
+            let hits = set.batch_contains(&batch);
+            let inserted = set.batch_insert(&batch);
+            (hits, inserted)
+        });
+        for ((q, hit), ins) in batch.iter().zip(&hits).zip(&inserted) {
+            assert_eq!(*hit, q % 3 == 0 && *q < 30_000, "query {q}");
+            assert_eq!(*ins, !*hit, "query {q}");
+            assert!(set.contains(q));
+        }
+        let removed = pool.install(|| set.batch_remove(&batch));
+        assert!(removed.iter().all(|&r| r));
+        // Exactly the multiples of 3 outside the batch's range remain.
+        assert!(set.as_slice().iter().all(|k| *k >= 20_000));
+        assert_eq!(set.len(), 10_000 - 6_667);
     }
 }

@@ -1,0 +1,215 @@
+//! The batched-operations API shared by every set implementation in this
+//! workspace.
+//!
+//! The paper's computational model is *batched*: operations arrive as sorted,
+//! deduplicated batches, and a data structure processes one whole batch in
+//! parallel before the next one starts.  This crate pins that model down as a
+//! pair of types every backend agrees on:
+//!
+//! * [`Batch`] — a sorted, deduplicated batch of keys.  Validation and
+//!   normalisation happen **once**, at the boundary; implementations of the
+//!   trait may assume (and exploit) strict ascending order.
+//! * [`BatchedSet`] — the trait tying `batch_contains` / `batch_insert` /
+//!   `batch_remove` together with the shared point accessors (`len`, `rank`,
+//!   `min`/`max`, …), so benchmark harnesses and tests drive any backend
+//!   through one interface.
+//!
+//! The crate is deliberately dependency-free (std only): it defines the
+//! contract, while `pbist`, `baselines`, … provide the parallel
+//! implementations on top of `parprim`/`forkjoin`.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::Deref;
+
+/// A sorted, strictly-increasing (hence deduplicated) batch of keys.
+///
+/// All [`BatchedSet`] operations consume batches, never raw slices: the
+/// sortedness invariant is established here, exactly once, so every
+/// implementation can partition a batch with binary searches and merge it
+/// into sorted storage without re-checking.
+///
+/// ```
+/// use batchapi::Batch;
+///
+/// let batch = Batch::from_unsorted(vec![5u64, 1, 9, 1]);
+/// assert_eq!(batch.as_slice(), &[1, 5, 9]);
+/// assert!(Batch::from_sorted(vec![1u64, 2, 3]).is_ok());
+/// assert!(Batch::from_sorted(vec![2u64, 1]).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Batch<K> {
+    keys: Vec<K>,
+}
+
+/// Why a key vector was rejected by [`Batch::from_sorted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchError {
+    /// `keys[index] >= keys[index + 1]`: the input is not strictly
+    /// increasing at `index` (either out of order or a duplicate).
+    NotStrictlyIncreasing {
+        /// Position of the first violation.
+        index: usize,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::NotStrictlyIncreasing { index } => write!(
+                f,
+                "batch keys must be strictly increasing, violated at index {index}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+impl<K: Ord> Batch<K> {
+    /// Builds a batch from arbitrary keys: sorts (unstable — keys are plain
+    /// `Ord` values, there is no tie order to preserve) and deduplicates.
+    pub fn from_unsorted(mut keys: Vec<K>) -> Batch<K> {
+        keys.sort_unstable();
+        keys.dedup();
+        Batch { keys }
+    }
+
+    /// Wraps keys that are claimed to be sorted and deduplicated, after
+    /// verifying the claim with one linear scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError::NotStrictlyIncreasing`] at the first adjacent
+    /// pair that is out of order or equal.
+    pub fn from_sorted(keys: Vec<K>) -> Result<Batch<K>, BatchError> {
+        if let Some(index) = keys.windows(2).position(|w| w[0] >= w[1]) {
+            return Err(BatchError::NotStrictlyIncreasing { index });
+        }
+        Ok(Batch { keys })
+    }
+
+    /// The empty batch.
+    pub fn empty() -> Batch<K> {
+        Batch { keys: Vec::new() }
+    }
+
+    /// The keys, strictly increasing.
+    pub fn as_slice(&self) -> &[K] {
+        &self.keys
+    }
+
+    /// Number of (distinct) keys in the batch.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Returns `true` when the batch holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Consumes the batch, returning the sorted key vector.
+    pub fn into_vec(self) -> Vec<K> {
+        self.keys
+    }
+}
+
+impl<K> Deref for Batch<K> {
+    type Target = [K];
+
+    fn deref(&self) -> &[K] {
+        &self.keys
+    }
+}
+
+/// An ordered set of keys driven by sorted operation batches.
+///
+/// This is the workspace's unified set interface: the interpolation search
+/// tree (`pbist::IstSet`), the flat sorted array (`baselines::SortedArraySet`)
+/// and any future backend implement it, so harnesses compare them through one
+/// API.  Batched methods answer **per batch element, in batch (sorted)
+/// order**, and are expected to exploit a surrounding `forkjoin::Pool` when
+/// one is installed; outside a pool they degrade to sequential loops.
+pub trait BatchedSet<K: Ord> {
+    /// Number of keys in the set.
+    fn len(&self) -> usize;
+
+    /// Returns `true` when the set holds no keys.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` when `key` is present.
+    fn contains(&self, key: &K) -> bool;
+
+    /// Number of keys strictly smaller than `key`.
+    fn rank(&self, key: &K) -> usize;
+
+    /// The smallest key, or `None` for an empty set.
+    fn min(&self) -> Option<&K>;
+
+    /// The largest key, or `None` for an empty set.
+    fn max(&self) -> Option<&K>;
+
+    /// Answers one membership query per batch element: `result[i]` is `true`
+    /// iff `batch[i]` is in the set.
+    fn batch_contains(&self, batch: &Batch<K>) -> Vec<bool>;
+
+    /// Inserts every batch element: `result[i]` is `true` iff `batch[i]` was
+    /// **newly** inserted (`false` means it was already present).
+    fn batch_insert(&mut self, batch: &Batch<K>) -> Vec<bool>;
+
+    /// Removes every batch element: `result[i]` is `true` iff `batch[i]` was
+    /// present (and has now been removed).
+    fn batch_remove(&mut self, batch: &Batch<K>) -> Vec<bool>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_unsorted_sorts_and_dedups() {
+        let batch = Batch::from_unsorted(vec![3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3]);
+        assert_eq!(batch.as_slice(), &[1, 2, 3, 4, 5, 6, 9]);
+        assert_eq!(batch.len(), 7);
+        assert!(!batch.is_empty());
+    }
+
+    #[test]
+    fn from_sorted_accepts_strictly_increasing() {
+        let batch = Batch::from_sorted(vec![1u64, 2, 3]).unwrap();
+        assert_eq!(batch.into_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn from_sorted_reports_first_violation() {
+        assert_eq!(
+            Batch::from_sorted(vec![1u64, 2, 2, 3]),
+            Err(BatchError::NotStrictlyIncreasing { index: 1 })
+        );
+        assert_eq!(
+            Batch::from_sorted(vec![5u64, 4]),
+            Err(BatchError::NotStrictlyIncreasing { index: 0 })
+        );
+        let msg = BatchError::NotStrictlyIncreasing { index: 7 }.to_string();
+        assert!(msg.contains("index 7"), "{msg}");
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let batch: Batch<u64> = Batch::empty();
+        assert!(batch.is_empty());
+        assert_eq!(batch.len(), 0);
+        assert_eq!(Batch::<u64>::default(), batch);
+    }
+
+    #[test]
+    fn deref_exposes_slice_methods() {
+        let batch = Batch::from_unsorted(vec![10u64, 20, 30]);
+        assert_eq!(batch.iter().sum::<u64>(), 60);
+        assert_eq!(batch.binary_search(&20), Ok(1));
+    }
+}

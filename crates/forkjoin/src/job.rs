@@ -134,7 +134,7 @@ where
 
     /// Extracts the result after the latch has been set by a thief,
     /// re-throwing the job's panic (if any) on the calling thread.
-    pub(crate) unsafe fn into_result(&self) -> R {
+    pub(crate) unsafe fn extract_result(&self) -> R {
         match self.take_result() {
             JobResult::None => unreachable!("latch set but no job result recorded"),
             JobResult::Ok(r) => r,
@@ -175,7 +175,7 @@ mod tests {
         assert!(!job.latch().probe());
         unsafe { job_ref.execute() };
         assert!(job.latch().probe());
-        assert_eq!(unsafe { job.into_result() }, 42);
+        assert_eq!(unsafe { job.extract_result() }, 42);
     }
 
     #[test]
@@ -185,7 +185,7 @@ mod tests {
         unsafe { job_ref.execute() };
         assert!(job.latch().probe());
         let caught = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe {
-            job.into_result();
+            job.extract_result();
         }));
         assert!(caught.is_err());
     }

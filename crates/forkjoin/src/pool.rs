@@ -86,7 +86,7 @@ impl Pool {
         job.latch().wait();
         // SAFETY: the latch has fired, so the worker that executed the job
         // has recorded an outcome and will never touch the job again.
-        unsafe { job.into_result() }
+        unsafe { job.extract_result() }
     }
 }
 

@@ -11,7 +11,8 @@
 //!   combiner,
 //! * [`exclusive_scan`] / [`inclusive_scan`] — parallel prefix sums (the
 //!   workhorse of batch partitioning),
-//! * [`merge`] — stable parallel merge of two sorted batches.
+//! * [`merge`] — stable parallel merge of two sorted batches,
+//! * [`filter`] — parallel order-preserving selection by predicate.
 //!
 //! Everything is built on binary [`forkjoin::join`], so these functions work
 //! both inside a [`forkjoin::Pool`] (where recursion forks across workers)
@@ -31,11 +32,13 @@
 
 #![warn(missing_docs)]
 
+mod filter;
 mod merge;
 mod reduce;
 mod scan;
 mod slice;
 
+pub use filter::filter;
 pub use merge::merge;
 pub use reduce::{map_reduce, reduce};
 pub use scan::{exclusive_scan, inclusive_scan};

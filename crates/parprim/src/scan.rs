@@ -47,6 +47,9 @@ where
     scan_impl(input, identity, &combine, true).0
 }
 
+/// Phase-3 unit of work: a chunk, its output slice, and its starting offset.
+type WriteTask<'a, T> = (&'a [T], &'a mut [MaybeUninit<T>], T);
+
 fn scan_impl<T, C>(input: &[T], identity: T, combine: &C, inclusive: bool) -> (Vec<T>, T)
 where
     T: Clone + Send + Sync,
@@ -85,7 +88,7 @@ where
     // offset, in parallel.
     {
         let spare = out.spare_capacity_mut();
-        let mut tasks: Vec<(&[T], &mut [MaybeUninit<T>], T)> = Vec::with_capacity(chunks.len());
+        let mut tasks: Vec<WriteTask<'_, T>> = Vec::with_capacity(chunks.len());
         let mut rest = spare;
         for (chunk, offset) in chunks.iter().zip(offsets) {
             let (dst, tail) = rest.split_at_mut(chunk.len());

@@ -175,6 +175,23 @@ fn merge_with_empty_side() {
 }
 
 #[test]
+fn filter_matches_sequential_filter() {
+    let input = pseudo_random(9, N);
+    outside_and_inside_pool(|| {
+        let expected: Vec<u64> = input.iter().filter(|x| *x % 3 == 0).copied().collect();
+        assert_eq!(parprim::filter(&input, |x| x % 3 == 0), expected);
+    });
+}
+
+#[test]
+fn filter_edge_cases() {
+    assert!(parprim::filter(&[] as &[u64], |_| true).is_empty());
+    let input: Vec<u64> = (0..10_000).collect();
+    assert_eq!(parprim::filter(&input, |_| true), input);
+    assert!(parprim::filter(&input, |_| false).is_empty());
+}
+
+#[test]
 fn panic_in_map_closure_propagates_and_pool_survives() {
     let input: Vec<u64> = (0..50_000).collect();
     let pool = Pool::new(4).unwrap();

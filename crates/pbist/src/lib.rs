@@ -9,20 +9,29 @@
 //! `parprim`: partition the batch across children with binary searches,
 //! recurse with `forkjoin::join`, and combine per-subtree counts with scans.
 //!
-//! # Current state
+//! # Layout
 //!
-//! This crate is the structural skeleton for that reproduction: the node
-//! representation ([`node`]), the key-interpolation trait
-//! ([`node::InterpolateKey`]), and a first [`tree::IstSet`] supporting bulk
-//! construction from sorted keys, single lookups via interpolated descent,
-//! and batched parallel lookups.  Batched *updates* (the paper's insert and
-//! delete with subtree rebuilding) are the next milestones and will land on
-//! top of this layout.
+//! * [`node`] — the node representation and the key-interpolation trait
+//!   ([`node::InterpolateKey`]).
+//! * [`tree`] — [`tree::IstSet`]: bulk parallel construction, interpolated
+//!   point lookups, and the [`batchapi::BatchedSet`] impl.
+//! * `traverse` (internal) — the joint sorted-batch membership traversal:
+//!   partition the batch at each inner node, fork per child.
+//! * `update` (internal) — batched insert/remove: route the batch to the
+//!   leaves in parallel, rebuild touched leaves, propagate router/`min`/
+//!   `max`/`len` updates, and rebuild any subtree whose size drifts past the
+//!   rebuild threshold.
+//!
+//! All batched operations take a [`batchapi::Batch`] — sorted and
+//! deduplicated once at the boundary — and exploit a surrounding
+//! [`forkjoin::Pool`] when one is installed.
 
 #![warn(missing_docs)]
 
 pub mod node;
+mod traverse;
 pub mod tree;
+mod update;
 
 pub use node::InterpolateKey;
 pub use tree::IstSet;

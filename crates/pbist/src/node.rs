@@ -64,6 +64,31 @@ impl<K> Node<K> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Smallest key in this subtree.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty leaf; empty subtrees exist only transiently inside
+    /// a batched removal, before the parent prunes them.
+    pub fn min_key(&self) -> &K {
+        match self {
+            Node::Leaf(leaf) => &leaf.keys[0],
+            Node::Inner(inner) => &inner.min,
+        }
+    }
+
+    /// Largest key in this subtree.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty leaf (see [`Node::min_key`]).
+    pub fn max_key(&self) -> &K {
+        match self {
+            Node::Leaf(leaf) => &leaf.keys[leaf.keys.len() - 1],
+            Node::Inner(inner) => &inner.max,
+        }
+    }
 }
 
 /// A leaf: a sorted, deduplicated array of keys.
@@ -87,6 +112,11 @@ pub struct InnerNode<K> {
     pub children: Vec<Node<K>>,
     /// Total number of keys under this node.
     pub len: usize,
+    /// Number of keys under this node when its subtree was last (re)built.
+    /// The update path compares `len` against this to decide when the
+    /// subtree's size has drifted far enough from its ideal `Θ(√n)`-fanout
+    /// shape to warrant a rebuild.
+    pub built_len: usize,
     /// Smallest key in this subtree (interpolation lower bound).
     pub min: K,
     /// Largest key in this subtree (interpolation upper bound).
@@ -104,7 +134,10 @@ pub fn interpolate_slot<K: InterpolateKey>(key: &K, min: &K, max: &K, len: usize
     let lo = min.to_ordinal();
     let hi = max.to_ordinal();
     let k = key.to_ordinal();
-    if !(hi > lo) || !k.is_finite() {
+    // `partial_cmp` spells out the NaN case: a degenerate or non-finite
+    // range yields slot 0 and the caller's fallback search takes over.
+    let range_is_increasing = matches!(hi.partial_cmp(&lo), Some(std::cmp::Ordering::Greater));
+    if !range_is_increasing || !k.is_finite() {
         return 0;
     }
     let frac = ((k - lo) / (hi - lo)).clamp(0.0, 1.0);

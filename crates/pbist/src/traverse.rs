@@ -1,0 +1,86 @@
+//! The paper's joint sorted-batch traversal for membership queries.
+//!
+//! Instead of descending once per query, a whole sorted batch moves through
+//! the tree together: at each inner node the batch is split at the routers
+//! with binary searches ([`partition_batch`]) and every child recurses on its
+//! own contiguous sub-batch, forked via the `forkjoin` substrate.  Because
+//! the batch is sorted, each child's answers land in a contiguous slice of
+//! the output, so results are stitched back in batch order simply by carving
+//! the output buffer at the same offsets — the offsets themselves being the
+//! exclusive scan of the per-child query counts.
+
+use std::mem::MaybeUninit;
+
+use crate::node::{InterpolateKey, Node};
+use crate::tree::leaf_contains;
+
+/// Sub-batches at or below this length descend sequentially: forking per
+/// child would cost more than the remaining leaf work.
+pub(crate) const SEQ_BATCH_LEN: usize = 512;
+
+/// Splits a sorted `batch` at every router: the queries destined for child
+/// `i` are `batch[offsets[i]..offsets[i + 1]]`, where `offsets` is the
+/// returned vector of length `routers.len() + 2`.
+///
+/// Each router is located by a binary search in the still-unassigned tail,
+/// so one partition costs `O(fanout · log |batch|)`.  The offsets are
+/// exactly the exclusive scan of the per-child query counts.
+pub(crate) fn partition_batch<K: Ord>(routers: &[K], batch: &[K]) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(routers.len() + 2);
+    offsets.push(0);
+    let mut assigned = 0;
+    for router in routers {
+        assigned += batch[assigned..].partition_point(|q| q < router);
+        offsets.push(assigned);
+    }
+    offsets.push(batch.len());
+    offsets
+}
+
+/// One child's share of a joint traversal: the subtree, its contiguous
+/// sub-batch, and the matching slice of the output buffer.
+type QueryTask<'a, K> = (&'a Node<K>, &'a [K], &'a mut [MaybeUninit<bool>]);
+
+/// Answers `batch` (sorted, strictly increasing) against the subtree at
+/// `node`, writing one membership flag per query into `out` (same order).
+pub(crate) fn batch_contains_into<K>(node: &Node<K>, batch: &[K], out: &mut [MaybeUninit<bool>])
+where
+    K: InterpolateKey + Clone + Send + Sync,
+{
+    debug_assert_eq!(batch.len(), out.len());
+    match node {
+        Node::Leaf(leaf) => {
+            for (q, slot) in batch.iter().zip(out.iter_mut()) {
+                slot.write(leaf_contains(&leaf.keys, q));
+            }
+        }
+        Node::Inner(inner) => {
+            let offsets = partition_batch(&inner.routers, batch);
+            let mut tasks: Vec<QueryTask<'_, K>> = Vec::with_capacity(inner.children.len());
+            let mut batch_rest = batch;
+            let mut out_rest = out;
+            for (child, window) in inner.children.iter().zip(offsets.windows(2)) {
+                let seg_len = window[1] - window[0];
+                let (batch_seg, batch_tail) = batch_rest.split_at(seg_len);
+                let (out_seg, out_tail) = out_rest.split_at_mut(seg_len);
+                batch_rest = batch_tail;
+                out_rest = out_tail;
+                if seg_len > 0 {
+                    tasks.push((child, batch_seg, out_seg));
+                }
+            }
+            if batch.len() <= SEQ_BATCH_LEN {
+                for (child, batch_seg, out_seg) in tasks.iter_mut() {
+                    batch_contains_into(child, batch_seg, out_seg);
+                }
+            } else {
+                // Fork per child: each task is a whole sub-traversal, so the
+                // element-count heuristic would be wrong here (see
+                // `parprim::map_with_grain`).
+                parprim::for_each_mut_with_grain(&mut tasks, 1, |(child, batch_seg, out_seg)| {
+                    batch_contains_into(child, batch_seg, out_seg);
+                });
+            }
+        }
+    }
+}

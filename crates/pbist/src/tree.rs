@@ -1,24 +1,36 @@
-//! The interpolation search tree set: bulk construction and lookups.
+//! The interpolation search tree set: bulk construction, lookups, and the
+//! batched-operations interface.
+
+use batchapi::{Batch, BatchedSet};
 
 use crate::node::{
     interpolate_slot, InnerNode, InterpolateKey, LeafNode, Node, LEAF_CAPACITY, MAX_FANOUT,
 };
+use crate::{traverse, update};
 
 /// A set of keys stored as an interpolation search tree.
 ///
-/// Construction is bulk-only for now ([`IstSet::from_sorted`] /
-/// [`IstSet::from_unsorted`]) and builds subtrees in parallel when called
-/// inside a [`forkjoin::Pool`].  Lookups descend by interpolation
-/// ([`IstSet::contains`]) and batches of lookups run in parallel
-/// ([`IstSet::batch_contains`]).  Batched inserts and deletes with subtree
-/// rebuilding — the paper's core contribution — are future work layered on
-/// this representation.
+/// Construction is bulk ([`IstSet::from_sorted`] / [`IstSet::from_unsorted`])
+/// and builds subtrees in parallel when called inside a [`forkjoin::Pool`].
+/// Point lookups descend by interpolation ([`IstSet::contains`]); batched
+/// operations arrive through the [`batchapi::BatchedSet`] impl, which
+/// processes each sorted batch jointly — partitioned across children at
+/// every inner node, forked per child — with updates rebuilding touched
+/// leaves and any subtree whose size drifts past the rebuild threshold (the
+/// paper's core contribution).
 ///
 /// ```
-/// let set = pbist::IstSet::from_unsorted(vec![5u64, 1, 9, 1]);
+/// use batchapi::{Batch, BatchedSet};
+///
+/// let mut set = pbist::IstSet::from_unsorted(vec![5u64, 1, 9, 1]);
 /// assert!(set.contains(&5));
-/// assert!(!set.contains(&2));
 /// assert_eq!(set.len(), 3);
+/// let newly = set.batch_insert(&Batch::from_unsorted(vec![2, 5]));
+/// assert_eq!(newly, vec![true, false]);
+/// assert_eq!(set.len(), 4);
+/// let gone = set.batch_remove(&Batch::from_unsorted(vec![1, 7]));
+/// assert_eq!(gone, vec![true, false]);
+/// assert!(!set.contains(&1));
 /// ```
 #[derive(Debug, Clone)]
 pub struct IstSet<K> {
@@ -41,11 +53,24 @@ impl<K: InterpolateKey + Clone + Send + Sync> IstSet<K> {
         }
     }
 
-    /// Builds a tree from arbitrary keys; sorts and deduplicates them first.
+    /// Builds a tree from arbitrary keys; sorts (unstable — keys are plain
+    /// `Ord` values, there is no tie order to preserve) and deduplicates
+    /// them first.
     pub fn from_unsorted(mut keys: Vec<K>) -> IstSet<K> {
-        keys.sort();
+        keys.sort_unstable();
         keys.dedup();
         IstSet::from_sorted(keys)
+    }
+
+    /// Builds a tree holding the keys of `batch` (already sorted and
+    /// deduplicated by construction, so no copy or re-check is needed).
+    pub fn from_batch(batch: &Batch<K>) -> IstSet<K> {
+        if batch.is_empty() {
+            return IstSet { root: None };
+        }
+        IstSet {
+            root: Some(build(batch.as_slice())),
+        }
     }
 
     /// Number of keys in the set.
@@ -56,6 +81,16 @@ impl<K: InterpolateKey + Clone + Send + Sync> IstSet<K> {
     /// Returns `true` when the set holds no keys.
     pub fn is_empty(&self) -> bool {
         self.root.is_none()
+    }
+
+    /// The smallest key, or `None` for an empty set.
+    pub fn min(&self) -> Option<&K> {
+        self.root.as_ref().map(Node::min_key)
+    }
+
+    /// The largest key, or `None` for an empty set.
+    pub fn max(&self) -> Option<&K> {
+        self.root.as_ref().map(Node::max_key)
     }
 
     /// Returns `true` when `key` is present, descending by interpolation.
@@ -74,15 +109,125 @@ impl<K: InterpolateKey + Clone + Send + Sync> IstSet<K> {
         }
     }
 
-    /// Answers one membership query per element of `queries`, in order,
-    /// in parallel when called inside a [`forkjoin::Pool`].
+    /// Number of keys strictly smaller than `key`: the interpolated descent
+    /// plus the sizes of the subtrees it passes on its left.
+    pub fn rank(&self, key: &K) -> usize {
+        let mut node = match &self.root {
+            Some(root) => root,
+            None => return 0,
+        };
+        let mut before = 0;
+        loop {
+            match node {
+                Node::Leaf(leaf) => return before + leaf.keys.partition_point(|k| k < key),
+                Node::Inner(inner) => {
+                    let idx = child_index(inner, key);
+                    before += inner.children[..idx].iter().map(Node::len).sum::<usize>();
+                    node = &inner.children[idx];
+                }
+            }
+        }
+    }
+
+    /// Verifies the tree's shape invariants — strictly increasing leaf runs
+    /// within capacity, router keys equal to each right sibling's minimum,
+    /// consistent `len`/`min`/`max` at every inner node — returning a
+    /// description of the first violation.
     ///
-    /// This is the query-batch interface shared with
-    /// `baselines::SortedArraySet`.  It currently fans out per query; the
-    /// paper's sorted-batch traversal (partition the batch once per node,
-    /// recurse into children jointly) will replace the per-query descent.
-    pub fn batch_contains(&self, queries: &[K]) -> Vec<bool> {
-        parprim::map(queries, |q| self.contains(q))
+    /// Intended for tests and debugging after batched updates; cost is a
+    /// full traversal.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        match &self.root {
+            None => Ok(()),
+            Some(root) if root.is_empty() => Err("empty root was not pruned to None".into()),
+            Some(root) => check_node(root),
+        }
+    }
+}
+
+impl<K: InterpolateKey + Clone + Send + Sync> BatchedSet<K> for IstSet<K> {
+    fn len(&self) -> usize {
+        IstSet::len(self)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        IstSet::contains(self, key)
+    }
+
+    fn rank(&self, key: &K) -> usize {
+        IstSet::rank(self, key)
+    }
+
+    fn min(&self) -> Option<&K> {
+        IstSet::min(self)
+    }
+
+    fn max(&self) -> Option<&K> {
+        IstSet::max(self)
+    }
+
+    fn batch_contains(&self, batch: &Batch<K>) -> Vec<bool> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let root = match &self.root {
+            Some(root) => root,
+            None => return vec![false; batch.len()],
+        };
+        let mut out = Vec::with_capacity(batch.len());
+        traverse::batch_contains_into(
+            root,
+            batch.as_slice(),
+            &mut out.spare_capacity_mut()[..batch.len()],
+        );
+        // SAFETY: the traversal writes every one of the first `batch.len()`
+        // slots exactly once (children cover disjoint batch segments).
+        unsafe { out.set_len(batch.len()) };
+        out
+    }
+
+    fn batch_insert(&mut self, batch: &Batch<K>) -> Vec<bool> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let root = match &mut self.root {
+            Some(root) => root,
+            None => {
+                self.root = Some(build(batch.as_slice()));
+                return vec![true; batch.len()];
+            }
+        };
+        let mut out = Vec::with_capacity(batch.len());
+        update::insert_into(
+            root,
+            batch.as_slice(),
+            &mut out.spare_capacity_mut()[..batch.len()],
+        );
+        // SAFETY: as in `batch_contains` — every flag slot written once.
+        unsafe { out.set_len(batch.len()) };
+        out
+    }
+
+    fn batch_remove(&mut self, batch: &Batch<K>) -> Vec<bool> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let root = match &mut self.root {
+            Some(root) => root,
+            None => return vec![false; batch.len()],
+        };
+        let mut out = Vec::with_capacity(batch.len());
+        update::remove_from(
+            root,
+            batch.as_slice(),
+            &mut out.spare_capacity_mut()[..batch.len()],
+        );
+        // SAFETY: as in `batch_contains` — every flag slot written once.
+        unsafe { out.set_len(batch.len()) };
+        if root.is_empty() {
+            self.root = None;
+        }
+        out
     }
 }
 
@@ -106,7 +251,7 @@ fn child_index<K: InterpolateKey>(inner: &InnerNode<K>, key: &K) -> usize {
 /// shrinks every iteration, so this terminates even for key distributions
 /// where the interpolation guess is always wrong (then it degrades towards a
 /// linear scan — the classic interpolation-search worst case).
-fn leaf_contains<K: InterpolateKey>(keys: &[K], key: &K) -> bool {
+pub(crate) fn leaf_contains<K: InterpolateKey>(keys: &[K], key: &K) -> bool {
     let mut lo = 0;
     let mut hi = keys.len();
     while lo < hi {
@@ -122,7 +267,7 @@ fn leaf_contains<K: InterpolateKey>(keys: &[K], key: &K) -> bool {
 
 /// Builds the subtree for one strictly-increasing run of keys, recursing over
 /// children in parallel via `parprim::map`.
-fn build<K: InterpolateKey + Clone + Send + Sync>(keys: &[K]) -> Node<K> {
+pub(crate) fn build<K: InterpolateKey + Clone + Send + Sync>(keys: &[K]) -> Node<K> {
     debug_assert!(!keys.is_empty());
     if keys.len() <= LEAF_CAPACITY {
         return Node::Leaf(LeafNode {
@@ -141,9 +286,74 @@ fn build<K: InterpolateKey + Clone + Send + Sync>(keys: &[K]) -> Node<K> {
         routers,
         children,
         len: keys.len(),
+        built_len: keys.len(),
         min: keys[0].clone(),
         max: keys[keys.len() - 1].clone(),
     })
+}
+
+/// Recursive worker for [`IstSet::check_invariants`].
+fn check_node<K: InterpolateKey>(node: &Node<K>) -> Result<(), String> {
+    match node {
+        Node::Leaf(leaf) => {
+            if leaf.keys.is_empty() {
+                return Err("empty leaf was not pruned".into());
+            }
+            if leaf.keys.len() > LEAF_CAPACITY {
+                return Err(format!(
+                    "leaf holds {} keys, over capacity {LEAF_CAPACITY}",
+                    leaf.keys.len()
+                ));
+            }
+            if !leaf.keys.windows(2).all(|w| w[0] < w[1]) {
+                return Err("leaf keys are not strictly increasing".into());
+            }
+            Ok(())
+        }
+        Node::Inner(inner) => {
+            if inner.children.len() < 2 {
+                return Err(format!(
+                    "inner node with {} children was not hoisted",
+                    inner.children.len()
+                ));
+            }
+            if inner.routers.len() + 1 != inner.children.len() {
+                return Err(format!(
+                    "{} routers for {} children",
+                    inner.routers.len(),
+                    inner.children.len()
+                ));
+            }
+            let child_sum: usize = inner.children.iter().map(Node::len).sum();
+            if inner.len != child_sum {
+                return Err(format!(
+                    "inner len {} but children sum to {child_sum}",
+                    inner.len
+                ));
+            }
+            if inner.children.iter().any(Node::is_empty) {
+                return Err("inner node kept an empty child".into());
+            }
+            if inner.min != *inner.children[0].min_key() {
+                return Err("inner min is not its first child's min".into());
+            }
+            if inner.max != *inner.children[inner.children.len() - 1].max_key() {
+                return Err("inner max is not its last child's max".into());
+            }
+            for (i, router) in inner.routers.iter().enumerate() {
+                if *router != *inner.children[i + 1].min_key() {
+                    return Err(format!("router {i} is not child {}'s min", i + 1));
+                }
+                if *inner.children[i].max_key() >= *router {
+                    return Err(format!("child {i} overlaps router {i}"));
+                }
+            }
+            for child in &inner.children {
+                check_node(child)?;
+            }
+            Ok(())
+        }
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +366,10 @@ mod tests {
         assert!(set.is_empty());
         assert_eq!(set.len(), 0);
         assert!(!set.contains(&42));
+        assert_eq!(set.min(), None);
+        assert_eq!(set.max(), None);
+        assert_eq!(set.rank(&42), 0);
+        set.check_invariants().unwrap();
     }
 
     #[test]
@@ -163,6 +377,8 @@ mod tests {
         let set = IstSet::from_unsorted(vec![3u64, 1, 2]);
         assert!(matches!(set.root, Some(Node::Leaf(_))));
         assert_eq!(set.len(), 3);
+        assert_eq!(set.min(), Some(&1));
+        assert_eq!(set.max(), Some(&3));
     }
 
     #[test]
@@ -174,29 +390,103 @@ mod tests {
         sorted.dedup();
         let set = IstSet::from_sorted(sorted.clone());
         assert_eq!(set.len(), sorted.len());
+        set.check_invariants().unwrap();
         for probe in (0..2_000_000u64).step_by(997) {
             assert_eq!(
                 set.contains(&probe),
                 sorted.binary_search(&probe).is_ok(),
                 "probe {probe}"
             );
+            assert_eq!(
+                set.rank(&probe),
+                sorted.partition_point(|k| *k < probe),
+                "rank of {probe}"
+            );
         }
+    }
+
+    #[test]
+    fn batch_contains_partitions_jointly() {
+        let keys: Vec<u64> = (0..30_000u64).map(|i| i * 7).collect();
+        let queries: Vec<u64> = (0..10_000u64).map(|i| i * 11).collect();
+        let set = IstSet::from_sorted(keys);
+        let batch = Batch::from_unsorted(queries);
+        let expected: Vec<bool> = batch.iter().map(|q| q % 7 == 0 && *q < 210_000).collect();
+        assert_eq!(set.batch_contains(&batch), expected);
     }
 
     #[test]
     fn parallel_build_and_batch_query_inside_pool() {
         let keys: Vec<u64> = (0..30_000u64).map(|i| i * 7).collect();
-        let queries: Vec<u64> = (0..10_000u64).map(|i| i * 11).collect();
+        let batch = Batch::from_unsorted((0..10_000u64).map(|i| i * 11).collect());
         let pool = forkjoin::Pool::new(4).unwrap();
         let (set, batched) = pool.install(|| {
             let set = IstSet::from_sorted(keys.clone());
-            let batched = set.batch_contains(&queries);
+            let batched = set.batch_contains(&batch);
             (set, batched)
         });
-        let expected: Vec<bool> = queries.iter().map(|q| q % 7 == 0 && *q < 210_000).collect();
+        let expected: Vec<bool> = batch.iter().map(|q| q % 7 == 0 && *q < 210_000).collect();
         assert_eq!(batched, expected);
         // The tree built inside the pool answers identically outside it.
         assert!(set.contains(&21));
         assert!(!set.contains(&22));
+    }
+
+    #[test]
+    fn from_batch_matches_from_sorted() {
+        let keys: Vec<u64> = (0..4000u64).map(|i| i * 5).collect();
+        let set = IstSet::from_batch(&Batch::from_unsorted(keys.clone()));
+        assert_eq!(set.len(), keys.len());
+        set.check_invariants().unwrap();
+        assert!(set.contains(&15));
+        assert!(!set.contains(&16));
+        assert!(IstSet::<u64>::from_batch(&Batch::empty()).is_empty());
+    }
+
+    #[test]
+    fn batch_insert_grows_a_leaf_into_a_tree() {
+        let mut set = IstSet::from_sorted((0..100u64).map(|i| i * 2).collect());
+        assert!(matches!(set.root, Some(Node::Leaf(_))));
+        // Push well past LEAF_CAPACITY so the root leaf must be rebuilt.
+        let batch = Batch::from_unsorted((0..3000u64).map(|i| i * 2 + 1).collect());
+        let newly = set.batch_insert(&batch);
+        assert!(newly.iter().all(|&n| n));
+        assert!(matches!(set.root, Some(Node::Inner(_))));
+        assert_eq!(set.len(), 3100);
+        set.check_invariants().unwrap();
+        assert!(set.contains(&1));
+        assert!(set.contains(&198));
+        assert!(!set.contains(&200));
+    }
+
+    #[test]
+    fn batch_remove_drains_the_tree_to_none() {
+        let keys: Vec<u64> = (0..5000u64).collect();
+        let mut set = IstSet::from_sorted(keys.clone());
+        let removed = set.batch_remove(&Batch::from_unsorted(keys));
+        assert!(removed.iter().all(|&r| r));
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        set.check_invariants().unwrap();
+        // Insert into the emptied tree works again.
+        let newly = set.batch_insert(&Batch::from_unsorted(vec![7, 3]));
+        assert_eq!(newly, vec![true, true]);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn interleaved_batches_keep_invariants() {
+        let mut set = IstSet::from_sorted((0..20_000u64).map(|i| i * 3).collect());
+        set.check_invariants().unwrap();
+        let inserts = Batch::from_unsorted((0..10_000u64).map(|i| i * 6 + 1).collect());
+        set.batch_insert(&inserts);
+        set.check_invariants().unwrap();
+        let removes = Batch::from_unsorted((0..20_000u64).map(|i| i * 3).collect());
+        let removed = set.batch_remove(&removes);
+        assert!(removed.iter().all(|&r| r));
+        set.check_invariants().unwrap();
+        assert_eq!(set.len(), 10_000);
+        assert!(set.contains(&1));
+        assert!(!set.contains(&0));
     }
 }

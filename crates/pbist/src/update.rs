@@ -1,0 +1,294 @@
+//! The paper's batched updates: insert and remove sorted batches in
+//! parallel, rebuilding drifted subtrees.
+//!
+//! Both operations follow the same shape as the joint traversal
+//! ([`crate::traverse`]): the batch is partitioned at each inner node and
+//! the children recurse on their sub-batches in parallel.  At the leaves the
+//! batch is merged in (insert) or filtered out (remove) with one sequential
+//! pass, and on the way back up every inner node refreshes its metadata
+//! (`len`, routers, `min`/`max`) from its children.  A subtree whose key
+//! count has drifted outside `[built_len / 2, built_len * 2]` since it was
+//! last built — or a leaf that outgrew [`LEAF_CAPACITY`] — is rebuilt from
+//! its sorted keys, restoring the ideal `Θ(√n)` fanout; removals that empty
+//! a subtree are pruned by the parent (single survivors are hoisted).
+
+use std::mem::MaybeUninit;
+
+use crate::node::{InnerNode, InterpolateKey, LeafNode, Node, LEAF_CAPACITY};
+use crate::traverse::{partition_batch, SEQ_BATCH_LEN};
+use crate::tree::build;
+
+/// A subtree is rebuilt when its size leaves
+/// `[built_len / REBUILD_FACTOR, built_len * REBUILD_FACTOR]`.  Factor 2
+/// amortises each rebuild against at least `built_len / 2` updates, while
+/// keeping every node's fanout within a constant factor of `√len`.
+const REBUILD_FACTOR: usize = 2;
+
+/// Subtrees at or below this many keys are flattened sequentially by
+/// [`collect_keys`]; above it, collection forks per child.
+const SEQ_COLLECT_LEN: usize = 2048;
+
+/// One child's share of a batched update: the subtree, its contiguous
+/// sub-batch, the matching output-flag slice, and the per-child count the
+/// recursion reports back.
+type UpdateTask<'a, K> = (&'a mut Node<K>, &'a [K], &'a mut [MaybeUninit<bool>], usize);
+
+/// One child's share of a parallel flatten: the subtree and its slice of the
+/// output key buffer.
+type CollectTask<'a, K> = (&'a Node<K>, &'a mut [MaybeUninit<K>]);
+
+/// Inserts the sorted `batch` into the subtree at `node`, writing one
+/// "newly inserted?" flag per batch element into `out` (batch order) and
+/// returning how many keys were actually added.
+pub(crate) fn insert_into<K>(
+    node: &mut Node<K>,
+    batch: &[K],
+    out: &mut [MaybeUninit<bool>],
+) -> usize
+where
+    K: InterpolateKey + Clone + Send + Sync,
+{
+    debug_assert_eq!(batch.len(), out.len());
+    debug_assert!(!batch.is_empty());
+    let added = match node {
+        Node::Leaf(leaf) => insert_into_leaf(leaf, batch, out),
+        Node::Inner(inner) => {
+            let added = for_each_child_batch(inner, batch, out, insert_into);
+            inner.len += added;
+            if added > 0 {
+                refresh_metadata(inner);
+            }
+            added
+        }
+    };
+    maybe_rebuild(node);
+    added
+}
+
+/// Removes the sorted `batch` from the subtree at `node`, writing one "was
+/// present?" flag per batch element into `out` (batch order) and returning
+/// how many keys were actually removed.
+///
+/// May leave `node` as an **empty leaf** when the batch wipes the subtree
+/// out; callers (the parent node, or `IstSet` at the root) prune it.
+pub(crate) fn remove_from<K>(
+    node: &mut Node<K>,
+    batch: &[K],
+    out: &mut [MaybeUninit<bool>],
+) -> usize
+where
+    K: InterpolateKey + Clone + Send + Sync,
+{
+    debug_assert_eq!(batch.len(), out.len());
+    debug_assert!(!batch.is_empty());
+    let removed = match node {
+        Node::Leaf(leaf) => remove_from_leaf(leaf, batch, out),
+        Node::Inner(inner) => {
+            let removed = for_each_child_batch(inner, batch, out, remove_from);
+            inner.len -= removed;
+            if removed > 0 {
+                inner.children.retain(|c| !c.is_empty());
+                if inner.children.len() >= 2 {
+                    refresh_metadata(inner);
+                }
+            }
+            removed
+        }
+    };
+    // Prune inner nodes the retain above left degenerate: an emptied subtree
+    // becomes an empty leaf (for the parent to drop in turn) and a single
+    // surviving child is hoisted into its parent's slot.
+    if let Node::Inner(inner) = node {
+        if inner.children.len() < 2 {
+            *node = match inner.children.pop() {
+                Some(only) => only,
+                None => Node::Leaf(LeafNode { keys: Vec::new() }),
+            };
+        }
+    }
+    maybe_rebuild(node);
+    removed
+}
+
+/// Flattens the subtree at `node` into one sorted key vector, forking per
+/// child for large subtrees.
+pub(crate) fn collect_keys<K>(node: &Node<K>) -> Vec<K>
+where
+    K: Clone + Send + Sync,
+{
+    let n = node.len();
+    let mut out = Vec::with_capacity(n);
+    collect_into(node, &mut out.spare_capacity_mut()[..n]);
+    // SAFETY: `collect_into` writes each of the first `n` slots exactly once
+    // (children cover disjoint ranges whose lengths sum to `n`).
+    unsafe { out.set_len(n) };
+    out
+}
+
+fn collect_into<K>(node: &Node<K>, out: &mut [MaybeUninit<K>])
+where
+    K: Clone + Send + Sync,
+{
+    debug_assert_eq!(node.len(), out.len());
+    match node {
+        Node::Leaf(leaf) => {
+            for (key, slot) in leaf.keys.iter().zip(out.iter_mut()) {
+                slot.write(key.clone());
+            }
+        }
+        Node::Inner(inner) => {
+            let mut tasks: Vec<CollectTask<'_, K>> = Vec::with_capacity(inner.children.len());
+            let mut out_rest = out;
+            for child in &inner.children {
+                let (out_seg, out_tail) = out_rest.split_at_mut(child.len());
+                out_rest = out_tail;
+                tasks.push((child, out_seg));
+            }
+            if inner.len <= SEQ_COLLECT_LEN {
+                for (child, out_seg) in tasks.iter_mut() {
+                    collect_into(child, out_seg);
+                }
+            } else {
+                parprim::for_each_mut_with_grain(&mut tasks, 1, |(child, out_seg)| {
+                    collect_into(child, out_seg);
+                });
+            }
+        }
+    }
+}
+
+/// Routes `batch` to `inner`'s children ([`partition_batch`]) and runs `op`
+/// on every child that received a non-empty sub-batch — in parallel when the
+/// batch is large enough — returning the sum of the per-child results.
+fn for_each_child_batch<K, Op>(
+    inner: &mut InnerNode<K>,
+    batch: &[K],
+    out: &mut [MaybeUninit<bool>],
+    op: Op,
+) -> usize
+where
+    K: InterpolateKey + Clone + Send + Sync,
+    Op: Fn(&mut Node<K>, &[K], &mut [MaybeUninit<bool>]) -> usize + Sync,
+{
+    let offsets = partition_batch(&inner.routers, batch);
+    // Last tuple slot collects the per-child count, since `for_each_mut`
+    // has no return channel.
+    let mut tasks: Vec<UpdateTask<'_, K>> = Vec::with_capacity(inner.children.len());
+    let mut batch_rest = batch;
+    let mut out_rest = out;
+    for (child, window) in inner.children.iter_mut().zip(offsets.windows(2)) {
+        let seg_len = window[1] - window[0];
+        let (batch_seg, batch_tail) = batch_rest.split_at(seg_len);
+        let (out_seg, out_tail) = out_rest.split_at_mut(seg_len);
+        batch_rest = batch_tail;
+        out_rest = out_tail;
+        if seg_len > 0 {
+            tasks.push((child, batch_seg, out_seg, 0));
+        }
+    }
+    if batch.len() <= SEQ_BATCH_LEN {
+        for (child, batch_seg, out_seg, count) in tasks.iter_mut() {
+            *count = op(child, batch_seg, out_seg);
+        }
+    } else {
+        // Fork per child: each task is a whole sub-update (see the matching
+        // comment in `traverse`).
+        parprim::for_each_mut_with_grain(&mut tasks, 1, |(child, batch_seg, out_seg, count)| {
+            *count = op(child, batch_seg, out_seg);
+        });
+    }
+    tasks.iter().map(|task| task.3).sum()
+}
+
+/// Recomputes `min`, `max` and the routers of `inner` from its (non-empty,
+/// at least two) children.  `len` is maintained incrementally by the caller.
+fn refresh_metadata<K: Ord + Clone>(inner: &mut InnerNode<K>) {
+    debug_assert!(inner.children.len() >= 2);
+    inner.min = inner.children[0].min_key().clone();
+    inner.max = inner.children[inner.children.len() - 1].max_key().clone();
+    inner.routers = inner.children[1..]
+        .iter()
+        .map(|child| child.min_key().clone())
+        .collect();
+}
+
+/// Rebuilds the subtree at `node` from its sorted keys when its size has
+/// drifted past the rebuild threshold (or a leaf outgrew its capacity),
+/// restoring the ideal `Θ(√n)`-fanout shape.
+fn maybe_rebuild<K>(node: &mut Node<K>)
+where
+    K: InterpolateKey + Clone + Send + Sync,
+{
+    let drifted = match node {
+        Node::Leaf(leaf) => leaf.keys.len() > LEAF_CAPACITY,
+        Node::Inner(inner) => {
+            inner.len > inner.built_len * REBUILD_FACTOR
+                || inner.len * REBUILD_FACTOR < inner.built_len
+        }
+    };
+    if drifted {
+        *node = build(&collect_keys(node));
+    }
+}
+
+/// Merges `batch` into one leaf's sorted run, flagging which elements were
+/// new; returns the number added.  The leaf may exceed [`LEAF_CAPACITY`]
+/// afterwards — [`maybe_rebuild`] gives it inner structure.
+fn insert_into_leaf<K: Ord + Clone>(
+    leaf: &mut LeafNode<K>,
+    batch: &[K],
+    out: &mut [MaybeUninit<bool>],
+) -> usize {
+    let keys = &leaf.keys;
+    let mut merged = Vec::with_capacity(keys.len() + batch.len());
+    let mut i = 0;
+    let mut added = 0;
+    for (q, slot) in batch.iter().zip(out.iter_mut()) {
+        while i < keys.len() && keys[i] < *q {
+            merged.push(keys[i].clone());
+            i += 1;
+        }
+        if i < keys.len() && keys[i] == *q {
+            // Present already; `keys[i]` itself is copied over by a later
+            // iteration's scan (the next batch element is larger) or by the
+            // trailing extend below.
+            slot.write(false);
+        } else {
+            merged.push(q.clone());
+            added += 1;
+            slot.write(true);
+        }
+    }
+    merged.extend_from_slice(&keys[i..]);
+    leaf.keys = merged;
+    added
+}
+
+/// Filters `batch` out of one leaf's sorted run, flagging which elements
+/// were present; returns the number removed.  May leave the leaf empty.
+fn remove_from_leaf<K: Ord + Clone>(
+    leaf: &mut LeafNode<K>,
+    batch: &[K],
+    out: &mut [MaybeUninit<bool>],
+) -> usize {
+    let keys = &leaf.keys;
+    let mut kept = Vec::with_capacity(keys.len());
+    let mut i = 0;
+    let mut removed = 0;
+    for (q, slot) in batch.iter().zip(out.iter_mut()) {
+        while i < keys.len() && keys[i] < *q {
+            kept.push(keys[i].clone());
+            i += 1;
+        }
+        if i < keys.len() && keys[i] == *q {
+            i += 1;
+            removed += 1;
+            slot.write(true);
+        } else {
+            slot.write(false);
+        }
+    }
+    kept.extend_from_slice(&keys[i..]);
+    leaf.keys = kept;
+    removed
+}

@@ -8,6 +8,8 @@
 //! * [`SplitMix64`] — the tiny, high-quality PRNG underlying all generators.
 //! * [`uniform_keys`] / [`uniform_keys_distinct`] — i.i.d. uniform keys.
 //! * [`ZipfSampler`] — Zipf-distributed ranks, for skewed access patterns.
+//! * [`mixed_op_batches`] / [`mixed_op_batches_zipf`] — sequences of mixed
+//!   read/write operation batches, the input shape of the batched-set API.
 
 use std::ops::Range;
 
@@ -91,7 +93,7 @@ pub fn uniform_keys(seed: u64, count: usize, range: Range<u64>) -> Vec<u64> {
 pub fn uniform_keys_distinct(seed: u64, count: usize, range: Range<u64>) -> Vec<u64> {
     let width = range.end.saturating_sub(range.start);
     assert!(
-        u64::try_from(count).map_or(false, |c| c <= width),
+        u64::try_from(count).is_ok_and(|c| c <= width),
         "range narrower than requested key count"
     );
     let mut rng = SplitMix64::new(seed);
@@ -117,7 +119,7 @@ pub fn uniform_keys_distinct(seed: u64, count: usize, range: Range<u64>) -> Vec<
 ///
 /// ```
 /// let mut zipf = workloads::ZipfSampler::new(7, 1000, 0.99);
-/// let rank = zipf.next();
+/// let rank = zipf.next_rank();
 /// assert!(rank < 1000);
 /// ```
 #[derive(Debug, Clone)]
@@ -152,7 +154,7 @@ impl ZipfSampler {
     }
 
     /// Draws the next rank in `[0, n)`.
-    pub fn next(&mut self) -> usize {
+    pub fn next_rank(&mut self) -> usize {
         let u = self.rng.next_f64();
         self.cdf
             .partition_point(|&p| p <= u)
@@ -161,13 +163,118 @@ impl ZipfSampler {
 
     /// Draws `count` ranks at once.
     pub fn take(&mut self, count: usize) -> Vec<usize> {
-        (0..count).map(|_| self.next()).collect()
+        (0..count).map(|_| self.next_rank()).collect()
     }
 
     /// Number of distinct ranks this sampler draws from.
     pub fn num_ranks(&self) -> usize {
         self.cdf.len()
     }
+}
+
+/// What a generated operation batch does to a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Insert the batch's keys.
+    Insert,
+    /// Remove the batch's keys.
+    Remove,
+    /// Query membership of the batch's keys.
+    Contains,
+}
+
+/// One batched operation: a kind plus the raw keys it applies to.
+///
+/// Keys are emitted unsorted and possibly with duplicates — normalising them
+/// is the job of the batched-set API boundary (`batchapi::Batch`), so these
+/// generators model what arriving traffic actually looks like.
+#[derive(Debug, Clone)]
+pub struct OpBatch {
+    /// The operation all keys in this batch perform.
+    pub kind: OpKind,
+    /// The keys, in arrival (unsorted) order.
+    pub keys: Vec<u64>,
+}
+
+/// Relative weights for choosing each batch's [`OpKind`]:
+/// `(insert, remove, contains)`.  Only ratios matter; `(1, 1, 8)` is a
+/// read-heavy mix, `(1, 1, 0)` is update-only.
+pub type OpMix = (u32, u32, u32);
+
+fn pick_kind(rng: &mut SplitMix64, mix: OpMix) -> OpKind {
+    let (ins, rem, con) = mix;
+    let total = u64::from(ins) + u64::from(rem) + u64::from(con);
+    assert!(total > 0, "operation mix must have a positive weight");
+    let roll = rng.next_below(total);
+    if roll < u64::from(ins) {
+        OpKind::Insert
+    } else if roll < u64::from(ins) + u64::from(rem) {
+        OpKind::Remove
+    } else {
+        OpKind::Contains
+    }
+}
+
+/// Generates `num_batches` operation batches of `batch_size` keys each, with
+/// kinds drawn by the weights in `mix` and keys i.i.d. uniform over `range`.
+///
+/// ```
+/// let ops = workloads::mixed_op_batches(9, 4, 100, 0..1000, (1, 1, 2));
+/// assert_eq!(ops.len(), 4);
+/// assert!(ops.iter().all(|b| b.keys.len() == 100));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `range` is empty or every weight in `mix` is zero.
+pub fn mixed_op_batches(
+    seed: u64,
+    num_batches: usize,
+    batch_size: usize,
+    range: Range<u64>,
+    mix: OpMix,
+) -> Vec<OpBatch> {
+    assert!(range.start < range.end, "empty key range");
+    let width = range.end - range.start;
+    let mut rng = SplitMix64::new(seed);
+    (0..num_batches)
+        .map(|_| {
+            let kind = pick_kind(&mut rng, mix);
+            let keys = (0..batch_size)
+                .map(|_| range.start + rng.next_below(width))
+                .collect();
+            OpBatch { kind, keys }
+        })
+        .collect()
+}
+
+/// Like [`mixed_op_batches`], but keys are drawn from `universe` by
+/// Zipf-distributed rank with exponent `theta` — the skewed, hot-key traffic
+/// of the paper's evaluation.
+///
+/// # Panics
+///
+/// Panics if `universe` is empty, `theta` is invalid (see
+/// [`ZipfSampler::new`]), or every weight in `mix` is zero.
+pub fn mixed_op_batches_zipf(
+    seed: u64,
+    num_batches: usize,
+    batch_size: usize,
+    universe: &[u64],
+    theta: f64,
+    mix: OpMix,
+) -> Vec<OpBatch> {
+    let mut rng = SplitMix64::new(seed);
+    let mut zipf = ZipfSampler::new(seed ^ 0x5EED_2F17, universe.len(), theta);
+    (0..num_batches)
+        .map(|_| {
+            let kind = pick_kind(&mut rng, mix);
+            let keys = (0..batch_size)
+                .map(|_| universe[zipf.next_rank()])
+                .collect();
+            OpBatch { kind, keys }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -226,6 +333,48 @@ mod tests {
         let tail = samples.iter().filter(|&&r| r == 99).count();
         // Rank 0 is ~100x more likely than rank 99 at theta = 1.
         assert!(head > tail * 4, "head={head} tail={tail}");
+    }
+
+    #[test]
+    fn mixed_batches_are_deterministic_and_respect_shape() {
+        let a = mixed_op_batches(31, 20, 64, 5..500, (1, 1, 2));
+        let b = mixed_op_batches(31, 20, 64, 5..500, (1, 1, 2));
+        assert_eq!(a.len(), 20);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.keys, y.keys);
+            assert_eq!(x.keys.len(), 64);
+            assert!(x.keys.iter().all(|k| (5..500).contains(k)));
+        }
+        // With all three weights positive, all three kinds eventually appear.
+        let kinds: Vec<OpKind> = mixed_op_batches(31, 200, 1, 0..10, (1, 1, 1))
+            .into_iter()
+            .map(|b| b.kind)
+            .collect();
+        for kind in [OpKind::Insert, OpKind::Remove, OpKind::Contains] {
+            assert!(kinds.contains(&kind), "{kind:?} never drawn");
+        }
+    }
+
+    #[test]
+    fn zero_weight_kinds_are_never_drawn() {
+        let ops = mixed_op_batches(77, 100, 4, 0..100, (1, 0, 3));
+        assert!(ops.iter().all(|b| b.kind != OpKind::Remove));
+    }
+
+    #[test]
+    fn zipf_batches_draw_from_the_universe() {
+        let universe: Vec<u64> = (0..50u64).map(|i| i * 1000).collect();
+        let ops = mixed_op_batches_zipf(13, 10, 200, &universe, 0.99, (1, 1, 2));
+        assert_eq!(ops.len(), 10);
+        for batch in &ops {
+            assert!(batch.keys.iter().all(|k| universe.contains(k)));
+        }
+        // Skew: the hottest key appears far more often than a cold one.
+        let all: Vec<u64> = ops.iter().flat_map(|b| b.keys.iter().copied()).collect();
+        let hot = all.iter().filter(|&&k| k == universe[0]).count();
+        let cold = all.iter().filter(|&&k| k == universe[49]).count();
+        assert!(hot > cold, "hot={hot} cold={cold}");
     }
 
     #[test]

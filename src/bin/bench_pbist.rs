@@ -1,0 +1,186 @@
+//! Deterministic benchmark: `pbist::IstSet` vs `baselines::SortedArraySet`
+//! across key distributions and thread counts, through the shared
+//! [`batchapi::BatchedSet`] trait.
+//!
+//! Std-only (`std::time::Instant`), seeded workloads, fixed configuration —
+//! two runs on the same machine measure the same work.  Emits one line per
+//! measurement to stdout and writes the full result set to
+//! `BENCH_pbist.json` in the current directory.
+//!
+//! ```sh
+//! cargo run --release --bin bench_pbist
+//! ```
+
+use std::time::Instant;
+
+use pbist_repro::{
+    baselines::SortedArraySet,
+    batchapi::{Batch, BatchedSet},
+    forkjoin::Pool,
+    pbist::IstSet,
+    workloads,
+};
+
+/// Keys in the pre-built set.
+const NUM_KEYS: usize = 100_000;
+/// Operations per batch.
+const BATCH_LEN: usize = 10_000;
+/// Timed repetitions per measurement; the minimum is reported.
+const REPS: usize = 3;
+/// Key universe.
+const KEY_RANGE: std::ops::Range<u64> = 0..10_000_000;
+/// Zipf exponent for the skewed distribution.
+const ZIPF_THETA: f64 = 0.9;
+
+struct Measurement {
+    structure: &'static str,
+    dist: &'static str,
+    threads: usize,
+    op: &'static str,
+    best_ms: f64,
+    mean_ms: f64,
+}
+
+fn main() {
+    let base_keys = workloads::uniform_keys_distinct(0x5EED, NUM_KEYS, KEY_RANGE);
+
+    // Query batches per distribution.  Zipf queries are drawn from the key
+    // universe itself (hot-key reads); the uniform insert batch doubles as
+    // the update batch for both distributions so update measurements stay
+    // comparable.
+    let uniform_queries =
+        Batch::from_unsorted(workloads::uniform_keys(0xBEEF, BATCH_LEN, KEY_RANGE));
+    let mut zipf = workloads::ZipfSampler::new(0x21BF, base_keys.len(), ZIPF_THETA);
+    let zipf_queries = Batch::from_unsorted(
+        zipf.take(BATCH_LEN)
+            .into_iter()
+            .map(|rank| base_keys[rank])
+            .collect(),
+    );
+    let update_batch = Batch::from_unsorted(workloads::uniform_keys(0xD00D, BATCH_LEN, KEY_RANGE));
+
+    let mut results = Vec::new();
+    for &threads in &[1usize, 2, 4] {
+        let pool = Pool::new(threads).expect("pool");
+        for (dist, queries) in [("uniform", &uniform_queries), ("zipf", &zipf_queries)] {
+            for structure in ["ist", "sorted_array"] {
+                let runs = match structure {
+                    "ist" => {
+                        let set = pool.install(|| IstSet::from_unsorted(base_keys.clone()));
+                        bench_set(&pool, set, queries, &update_batch)
+                    }
+                    _ => {
+                        let set = SortedArraySet::from_unsorted(base_keys.clone());
+                        bench_set(&pool, set, queries, &update_batch)
+                    }
+                };
+                for (op, best_ms, mean_ms) in runs {
+                    let m = Measurement {
+                        structure,
+                        dist,
+                        threads,
+                        op,
+                        best_ms,
+                        mean_ms,
+                    };
+                    println!(
+                        "{:>12} {:>7} threads={} {:>8}: best {:8.3} ms  mean {:8.3} ms",
+                        m.structure, m.dist, m.threads, m.op, m.best_ms, m.mean_ms
+                    );
+                    results.push(m);
+                }
+            }
+        }
+    }
+
+    let json = render_json(&results);
+    std::fs::write("BENCH_pbist.json", &json).expect("write BENCH_pbist.json");
+    println!("wrote BENCH_pbist.json ({} measurements)", results.len());
+}
+
+/// Times `batch_contains` / `batch_insert` / `batch_remove` on `set` inside
+/// `pool`.  Updates run on a clone per repetition so every rep (and every
+/// run of the binary) measures identical work.
+fn bench_set<S>(
+    pool: &Pool,
+    set: S,
+    queries: &Batch<u64>,
+    updates: &Batch<u64>,
+) -> Vec<(&'static str, f64, f64)>
+where
+    S: BatchedSet<u64> + Clone + Send + Sync,
+{
+    let mut out = Vec::new();
+
+    let contains_ms: Vec<f64> = (0..REPS)
+        .map(|_| {
+            pool.install(|| {
+                let start = Instant::now();
+                let hits = set.batch_contains(queries);
+                let elapsed = elapsed_ms(start);
+                assert_eq!(hits.len(), queries.len());
+                elapsed
+            })
+        })
+        .collect();
+    out.push(("contains", min_of(&contains_ms), mean_of(&contains_ms)));
+
+    let mut insert_ms = Vec::with_capacity(REPS);
+    let mut remove_ms = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let mut scratch = set.clone();
+        let (ins, rem) = pool.install(|| {
+            let start = Instant::now();
+            let inserted = scratch.batch_insert(updates);
+            let ins = elapsed_ms(start);
+            assert_eq!(inserted.len(), updates.len());
+            let start = Instant::now();
+            let removed = scratch.batch_remove(updates);
+            let rem = elapsed_ms(start);
+            assert!(removed.iter().all(|&r| r));
+            (ins, rem)
+        });
+        insert_ms.push(ins);
+        remove_ms.push(rem);
+    }
+    out.push(("insert", min_of(&insert_ms), mean_of(&insert_ms)));
+    out.push(("remove", min_of(&remove_ms), mean_of(&remove_ms)));
+    out
+}
+
+fn elapsed_ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn min_of(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+fn mean_of(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn render_json(results: &[Measurement]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"pbist\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"num_keys\": {NUM_KEYS}, \"batch_len\": {BATCH_LEN}, \"reps\": {REPS}, \"key_range\": [{}, {}], \"zipf_theta\": {ZIPF_THETA}}},\n",
+        KEY_RANGE.start, KEY_RANGE.end
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"structure\": \"{}\", \"dist\": \"{}\", \"threads\": {}, \"op\": \"{}\", \"best_ms\": {:.4}, \"mean_ms\": {:.4}}}{}\n",
+            m.structure,
+            m.dist,
+            m.threads,
+            m.op,
+            m.best_ms,
+            m.mean_ms,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}

@@ -4,6 +4,7 @@
 //! surface; all functionality lives in the `crates/` members.
 
 pub use baselines;
+pub use batchapi;
 pub use forkjoin;
 pub use parprim;
 pub use pbist;

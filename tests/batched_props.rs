@@ -1,0 +1,148 @@
+//! Property tests for the batched-operations API: randomized mixed batches
+//! of insert/remove/contains driven against a `std::collections::BTreeSet`
+//! oracle, through the same generic [`BatchedSet`] interface every backend
+//! implements — outside any pool and inside a 4-worker `forkjoin::Pool`,
+//! with the tree's shape invariant checked after every batch.
+
+use std::collections::BTreeSet;
+
+use pbist_repro::{
+    baselines::SortedArraySet,
+    batchapi::{Batch, BatchedSet},
+    forkjoin::Pool,
+    pbist::IstSet,
+    workloads::{self, OpKind},
+};
+
+/// Applies `ops` to `set` and a fresh oracle, checking per-element flags and
+/// aggregate state (`len`, `min`/`max`, spot-checked `rank`) after every
+/// batch; `audit` runs backend-specific checks (the tree's shape invariant).
+fn drive_against_oracle<S>(set: &mut S, ops: &[workloads::OpBatch], audit: impl Fn(&S))
+where
+    S: BatchedSet<u64>,
+{
+    let mut oracle = BTreeSet::new();
+    for (step, op) in ops.iter().enumerate() {
+        let batch = Batch::from_unsorted(op.keys.clone());
+        let flags = match op.kind {
+            OpKind::Insert => set.batch_insert(&batch),
+            OpKind::Remove => set.batch_remove(&batch),
+            OpKind::Contains => set.batch_contains(&batch),
+        };
+        let expected: Vec<bool> = batch
+            .iter()
+            .map(|k| match op.kind {
+                OpKind::Insert => oracle.insert(*k),
+                OpKind::Remove => oracle.remove(k),
+                OpKind::Contains => oracle.contains(k),
+            })
+            .collect();
+        assert_eq!(flags, expected, "step {step}: {:?} flags diverged", op.kind);
+        assert_eq!(set.len(), oracle.len(), "step {step}: len diverged");
+        assert_eq!(set.is_empty(), oracle.is_empty());
+        assert_eq!(set.min(), oracle.first(), "step {step}: min diverged");
+        assert_eq!(set.max(), oracle.last(), "step {step}: max diverged");
+        for probe in batch.iter().step_by(97).chain([0, u64::MAX].iter()) {
+            assert_eq!(
+                set.rank(probe),
+                oracle.range(..probe).count(),
+                "step {step}: rank of {probe} diverged"
+            );
+            assert_eq!(set.contains(probe), oracle.contains(probe));
+        }
+        audit(set);
+    }
+    assert!(!oracle.is_empty(), "workload never populated the set");
+}
+
+fn mixed_ops(seed: u64) -> Vec<workloads::OpBatch> {
+    // Narrow key range so inserts and removes collide often; batch sizes
+    // large enough that pooled runs genuinely fork.
+    workloads::mixed_op_batches(seed, 25, 3_000, 0..40_000, (3, 2, 2))
+}
+
+fn zipf_ops(seed: u64) -> Vec<workloads::OpBatch> {
+    let universe = workloads::uniform_keys_distinct(seed, 5_000, 0..1_000_000);
+    workloads::mixed_op_batches_zipf(seed, 20, 2_000, &universe, 0.9, (2, 2, 1))
+}
+
+#[test]
+fn ist_set_matches_oracle_outside_pool() {
+    for seed in [1, 2, 3] {
+        let mut set: IstSet<u64> = IstSet::from_sorted(Vec::new());
+        drive_against_oracle(&mut set, &mixed_ops(seed), |s| {
+            s.check_invariants().unwrap()
+        });
+    }
+}
+
+#[test]
+fn ist_set_matches_oracle_inside_pool() {
+    let pool = Pool::new(4).unwrap();
+    pool.install(|| {
+        for seed in [4, 5] {
+            let mut set: IstSet<u64> = IstSet::from_sorted(Vec::new());
+            drive_against_oracle(&mut set, &mixed_ops(seed), |s| {
+                s.check_invariants().unwrap()
+            });
+        }
+    });
+}
+
+#[test]
+fn ist_set_matches_oracle_on_zipf_traffic() {
+    let ops = zipf_ops(6);
+    let mut set: IstSet<u64> = IstSet::from_sorted(Vec::new());
+    drive_against_oracle(&mut set, &ops, |s| s.check_invariants().unwrap());
+    let pool = Pool::new(4).unwrap();
+    pool.install(|| {
+        let mut set: IstSet<u64> = IstSet::from_sorted(Vec::new());
+        drive_against_oracle(&mut set, &ops, |s| s.check_invariants().unwrap());
+    });
+}
+
+#[test]
+fn sorted_array_matches_oracle_outside_pool() {
+    for seed in [1, 7] {
+        let mut set: SortedArraySet<u64> = SortedArraySet::default();
+        drive_against_oracle(&mut set, &mixed_ops(seed), |_| {});
+    }
+}
+
+#[test]
+fn sorted_array_matches_oracle_inside_pool() {
+    let pool = Pool::new(4).unwrap();
+    pool.install(|| {
+        let mut set: SortedArraySet<u64> = SortedArraySet::default();
+        drive_against_oracle(&mut set, &mixed_ops(8), |_| {});
+    });
+}
+
+#[test]
+fn tree_starting_full_survives_heavy_removal() {
+    // Start from a built tree and hammer it with remove-heavy traffic so
+    // subtree pruning, hoisting, and shrink-rebuilds all trigger.
+    let keys = workloads::uniform_keys_distinct(9, 30_000, 0..100_000);
+    let mut set = IstSet::from_unsorted(keys.clone());
+    let mut oracle: BTreeSet<u64> = keys.into_iter().collect();
+    let ops = workloads::mixed_op_batches(10, 30, 2_500, 0..100_000, (1, 6, 1));
+    for op in &ops {
+        let batch = Batch::from_unsorted(op.keys.clone());
+        let flags = match op.kind {
+            OpKind::Insert => set.batch_insert(&batch),
+            OpKind::Remove => set.batch_remove(&batch),
+            OpKind::Contains => set.batch_contains(&batch),
+        };
+        let expected: Vec<bool> = batch
+            .iter()
+            .map(|k| match op.kind {
+                OpKind::Insert => oracle.insert(*k),
+                OpKind::Remove => oracle.remove(k),
+                OpKind::Contains => oracle.contains(k),
+            })
+            .collect();
+        assert_eq!(flags, expected);
+        assert_eq!(set.len(), oracle.len());
+        set.check_invariants().unwrap();
+    }
+}
