@@ -1,0 +1,499 @@
+//! A lock-free Chase-Lev work-stealing deque of [`JobRef`]s.
+//!
+//! This is the per-worker queue behind [`join`](crate::join): the owning
+//! worker pushes and pops at the **bottom** (LIFO — the most recently forked
+//! job has the hottest data), while any other thread steals from the **top**
+//! (FIFO — the oldest fork is the biggest remaining chunk of work).  The
+//! implementation follows Chase & Lev, *Dynamic Circular Work-Stealing
+//! Deque* (SPAA '05), with the C11 memory orderings of Lê, Pop, Cohen &
+//! Zappa Nardelli, *Correct and Efficient Work-Stealing for Weak Memory
+//! Models* (PPoPP '13) — the same lineage as the deque under Rayon's
+//! scheduler.
+//!
+//! # Structure
+//!
+//! Two monotonically increasing indices bracket the live region of a
+//! power-of-two circular buffer:
+//!
+//! ```text
+//!        top (thieves CAS this forward)          bottom (owner only)
+//!          v                                        v
+//!   ... [ t ] [t+1] [t+2] ... [b-1] [   ] ...
+//!          `--------- live jobs ---------'
+//! ```
+//!
+//! * **`push`** (owner): write the slot at `bottom`, then publish with a
+//!   `Release` store of `bottom + 1`.  A thief that observes the new
+//!   `bottom` via its `Acquire` load therefore also observes the slot write.
+//! * **`pop`** (owner): decrement `bottom`, then a `SeqCst` fence, then read
+//!   `top`.  The fence makes the decrement visible to thieves *before* the
+//!   owner decides the deque is non-empty; without it the owner and a thief
+//!   could both take the last job.  When exactly one job remains, owner and
+//!   thieves race on a `SeqCst` CAS of `top` — whoever wins owns the job.
+//! * **`steal`** (any thread): read `top` (`Acquire`), `SeqCst` fence, read
+//!   `bottom` (`Acquire`), and claim the top job with a `SeqCst` CAS of
+//!   `top`.  The slot is read *before* the CAS; on CAS failure the value is
+//!   discarded.  That read can race with an owner `push` reusing the slot,
+//!   but slots are single `AtomicPtr` words (see
+//!   [`JobRef::into_raw`](crate::job::JobRef)), so a lost race yields a
+//!   stale-but-whole pointer that the failed CAS throws away — never a torn
+//!   value, never UB.
+//!
+//! # Growth and memory reclamation
+//!
+//! When the buffer fills, the owner allocates one twice as large, copies the
+//! live region, and publishes it with a `Release` store.  A thief can still
+//! hold the *old* buffer: that is safe because (a) retired buffers are not
+//! freed until the deque itself is dropped at pool shutdown — each new
+//! buffer keeps its predecessor alive through a `retired` link, so no
+//! epoch/hazard-pointer machinery is needed — and (b) a thief can only pass
+//! its bounds check with an index whose slot was live in the buffer it
+//! loaded (the ordering argument is spelled out on [`Deque::steal`]).
+//!
+//! The deque never shrinks: the paper's workloads push at most
+//! `O(log batch)` outstanding forks per worker, so peak buffer size is tiny.
+
+use std::ptr;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+
+use crate::job::{JobHeader, JobRef};
+
+/// Initial buffer capacity (slots).  Must be a power of two.
+const INITIAL_CAPACITY: usize = 64;
+
+/// The outcome of one [`Deque::steal`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Steal {
+    /// The deque appeared empty.
+    Empty,
+    /// The top job was claimed; the thief now owns it.
+    Success(JobRef),
+    /// Lost a race with the owner or another thief; the deque may still
+    /// hold work.  Losing the race implies *someone else* made progress, so
+    /// retrying preserves lock-freedom.
+    Retry,
+}
+
+/// One circular slot allocation.  Slots are single machine words so that the
+/// benign stale read in `steal` is an ordinary atomic load.
+struct Buffer {
+    slots: Box<[AtomicPtr<JobHeader>]>,
+    /// `slots.len() - 1`; capacities are powers of two so indexing is a mask.
+    mask: usize,
+    /// The buffer this one replaced, kept alive until the deque drops.
+    retired: *mut Buffer,
+}
+
+impl Buffer {
+    fn alloc(capacity: usize, retired: *mut Buffer) -> *mut Buffer {
+        debug_assert!(capacity.is_power_of_two());
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || AtomicPtr::new(ptr::null_mut()));
+        Box::into_raw(Box::new(Buffer {
+            slots: slots.into_boxed_slice(),
+            mask: capacity - 1,
+            retired,
+        }))
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Reads the slot for logical index `i`.  Relaxed suffices: ordering is
+    /// provided by the `top`/`bottom` accesses bracketing every read.
+    fn read(&self, i: isize) -> JobRef {
+        let raw = self.slots[i as usize & self.mask].load(Ordering::Relaxed);
+        // SAFETY: callers only read indices inside the live region (or
+        // discard the value when their claim CAS fails).
+        unsafe { JobRef::from_raw(raw) }
+    }
+
+    /// Writes the slot for logical index `i`.
+    fn write(&self, i: isize, job: JobRef) {
+        self.slots[i as usize & self.mask].store(job.into_raw(), Ordering::Relaxed);
+    }
+}
+
+/// A lock-free work-stealing deque.
+///
+/// The **owner API** ([`push`](Deque::push), [`pop`](Deque::pop)) is
+/// `unsafe`: those methods are single-threaded by contract and must only be
+/// called from the one thread that owns this deque.  The **thief API**
+/// ([`steal`](Deque::steal), [`is_empty`](Deque::is_empty)) is safe from any
+/// thread.
+pub(crate) struct Deque {
+    /// Next slot the owner will push into.  Written by the owner only.
+    bottom: AtomicIsize,
+    /// Oldest live slot.  Advanced by whoever claims that job (thief CAS, or
+    /// owner CAS when taking the last job).
+    top: AtomicIsize,
+    /// Current slot allocation.  Replaced (never mutated in place) on growth.
+    buffer: AtomicPtr<Buffer>,
+}
+
+impl Deque {
+    pub(crate) fn new() -> Deque {
+        Deque {
+            bottom: AtomicIsize::new(0),
+            top: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(Buffer::alloc(INITIAL_CAPACITY, ptr::null_mut())),
+        }
+    }
+
+    /// Pushes a job at the bottom.  Owner side; never blocks, never locks.
+    ///
+    /// # Safety
+    ///
+    /// Must only be called from the thread that owns this deque.
+    pub(crate) unsafe fn push(&self, job: JobRef) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut buffer = self.buffer.load(Ordering::Relaxed);
+        if b - t >= (*buffer).capacity() as isize {
+            buffer = self.grow(buffer, t, b);
+        }
+        (*buffer).write(b, job);
+        // Publish the slot before the index: a thief that acquires the new
+        // `bottom` must also see the job it brackets.
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Pops the most recently pushed job (LIFO).  Owner side; lock-free.
+    ///
+    /// # Safety
+    ///
+    /// Must only be called from the thread that owns this deque.
+    pub(crate) unsafe fn pop(&self) -> Option<JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let buffer = self.buffer.load(Ordering::Relaxed);
+        self.bottom.store(b, Ordering::Relaxed);
+        // The decrement must be visible to thieves before we sample `top`;
+        // otherwise a thief could claim slot `b` while we also take it.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t < b {
+            // At least two jobs were present: the bottom one is ours without
+            // any race, since thieves only contend for `top`.
+            return Some((*buffer).read(b));
+        }
+        if t == b {
+            // Exactly one job left: race the thieves for it by advancing
+            // `top` past it ourselves.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            // Either way the deque is now empty; restore the canonical
+            // empty shape `bottom == top`.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return won.then(|| (*buffer).read(b));
+        }
+        // Deque was empty; undo the speculative decrement.
+        self.bottom.store(b + 1, Ordering::Relaxed);
+        None
+    }
+
+    /// Attempts to steal the oldest job (FIFO).  Safe from any thread.
+    ///
+    /// Ordering argument for the buffer read: the slot at index `t` is read
+    /// from a buffer loaded *after* `bottom`.  If our `bottom` load saw
+    /// pushes that went into a newer buffer (the only way `t` could index
+    /// past the loaded buffer's live region), then the owner's `Release`
+    /// store of that `bottom` happened after its `Release` store of the new
+    /// buffer pointer — so our `Acquire` load here cannot return the older
+    /// buffer.  If instead `t < b` entirely within one buffer generation,
+    /// the slot was written before `bottom` was published and is visible via
+    /// the same `Acquire`.  A slot being *reused* by a concurrent `push`
+    /// implies `top` already moved past `t`, which makes our CAS fail and
+    /// the (whole-word, never torn) stale value is discarded.
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        // Order the `top` read before the `bottom` read: with the mirror
+        // fence in `pop`, either we see the owner's decrement (and report
+        // Empty) or the owner's CAS sees our claim.
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let buffer = self.buffer.load(Ordering::Acquire);
+        // SAFETY: `t < b` with the ordering argument above guarantees the
+        // slot is (or was) live in `buffer`; if we lose the claim race the
+        // value is discarded unexecuted.
+        let job = unsafe { (*buffer).read(t) };
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Steal::Success(job)
+        } else {
+            Steal::Retry
+        }
+    }
+
+    /// Whether the deque currently appears empty.  Only meaningful as a
+    /// sleep gate: the answer can be stale by the time the caller acts.
+    pub(crate) fn is_empty(&self) -> bool {
+        let t = self.top.load(Ordering::Acquire);
+        let b = self.bottom.load(Ordering::Acquire);
+        b <= t
+    }
+
+    /// Current buffer capacity, for tests observing growth.
+    #[cfg(test)]
+    fn capacity(&self) -> usize {
+        unsafe { (*self.buffer.load(Ordering::Acquire)).capacity() }
+    }
+
+    /// Replaces the buffer with one twice as large.  Owner side (called from
+    /// `push` only).  The old buffer is linked, not freed: thieves may still
+    /// be reading it, and it stays valid until the deque drops.
+    unsafe fn grow(&self, old: *mut Buffer, t: isize, b: isize) -> *mut Buffer {
+        let new = Buffer::alloc((*old).capacity() * 2, old);
+        for i in t..b {
+            (*new).write(i, (*old).read(i));
+        }
+        // Release-publish: a thief that acquires this pointer sees every
+        // copied slot.
+        self.buffer.store(new, Ordering::Release);
+        new
+    }
+}
+
+impl Drop for Deque {
+    fn drop(&mut self) {
+        // Exclusive access (`&mut self`): walk the retired chain from the
+        // current buffer and free every generation.
+        let mut buffer = *self.buffer.get_mut();
+        while !buffer.is_null() {
+            // SAFETY: each pointer in the chain came from `Box::into_raw`
+            // and is freed exactly once (the chain is a singly linked list).
+            let boxed = unsafe { Box::from_raw(buffer) };
+            buffer = boxed.retired;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobHeader;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    /// A heap-tagged test job: executing it increments its own cell in a
+    /// shared tally, so exactly-once execution is observable per job.
+    #[repr(C)]
+    struct TagJob {
+        header: JobHeader,
+        tally: Arc<Vec<AtomicUsize>>,
+        tag: usize,
+    }
+
+    impl TagJob {
+        fn new(tally: Arc<Vec<AtomicUsize>>, tag: usize) -> TagJob {
+            TagJob {
+                header: JobHeader::new(Self::execute_erased),
+                tally,
+                tag,
+            }
+        }
+
+        fn job_ref(&self) -> JobRef {
+            // Whole-object pointer for provenance; see `StackJob::as_job_ref`.
+            unsafe { JobRef::new((self as *const TagJob).cast()) }
+        }
+
+        unsafe fn execute_erased(header: *const JobHeader) {
+            let this = &*(header as *const TagJob);
+            this.tally[this.tag].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Builds `count` jobs plus their tally.  The returned `Vec<TagJob>`
+    /// must outlive (and not be resized under) every queued `JobRef`: job
+    /// references point into the vector's allocation.
+    fn tagged_jobs(count: usize) -> (Arc<Vec<AtomicUsize>>, Vec<TagJob>) {
+        let tally: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..count).map(|_| AtomicUsize::new(0)).collect());
+        let jobs = (0..count)
+            .map(|tag| TagJob::new(Arc::clone(&tally), tag))
+            .collect();
+        (tally, jobs)
+    }
+
+    #[test]
+    fn owner_pop_is_lifo() {
+        let (_tally, jobs) = tagged_jobs(3);
+        let deque = Deque::new();
+        let refs: Vec<JobRef> = jobs.iter().map(|j| j.job_ref()).collect();
+        unsafe {
+            for &r in &refs {
+                deque.push(r);
+            }
+            assert_eq!(deque.pop(), Some(refs[2]));
+            assert_eq!(deque.pop(), Some(refs[1]));
+            assert_eq!(deque.pop(), Some(refs[0]));
+            assert_eq!(deque.pop(), None);
+            // Empty pops stay empty and do not corrupt the indices.
+            assert_eq!(deque.pop(), None);
+        }
+        assert!(deque.is_empty());
+    }
+
+    #[test]
+    fn steal_is_fifo_and_interleaves_with_owner() {
+        let (_tally, jobs) = tagged_jobs(4);
+        let deque = Deque::new();
+        let refs: Vec<JobRef> = jobs.iter().map(|j| j.job_ref()).collect();
+        unsafe {
+            for &r in &refs {
+                deque.push(r);
+            }
+        }
+        // Thief takes the oldest; owner takes the newest.
+        assert_eq!(deque.steal(), Steal::Success(refs[0]));
+        assert_eq!(unsafe { deque.pop() }, Some(refs[3]));
+        assert_eq!(deque.steal(), Steal::Success(refs[1]));
+        assert_eq!(unsafe { deque.pop() }, Some(refs[2]));
+        assert_eq!(deque.steal(), Steal::Empty);
+        assert_eq!(unsafe { deque.pop() }, None);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity_and_keeps_every_job() {
+        let count = INITIAL_CAPACITY * 8 + 7;
+        let (tally, jobs) = tagged_jobs(count);
+        let deque = Deque::new();
+        assert_eq!(deque.capacity(), INITIAL_CAPACITY);
+        unsafe {
+            for job in &jobs {
+                deque.push(job.job_ref());
+            }
+        }
+        assert!(deque.capacity() >= count);
+        // Drain from both ends; every tag must execute exactly once.
+        let mut from_top = true;
+        loop {
+            let job = if from_top {
+                match deque.steal() {
+                    Steal::Success(job) => Some(job),
+                    Steal::Empty => None,
+                    Steal::Retry => continue,
+                }
+            } else {
+                unsafe { deque.pop() }
+            };
+            match job {
+                Some(job) => unsafe { job.execute() },
+                None => break,
+            }
+            from_top = !from_top;
+        }
+        assert!(tally.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    /// The headline concurrent test: N thieves and the owner drain M tagged
+    /// jobs; every job must execute exactly once — no loss, no duplication.
+    /// The owner keeps pushing while stealers run, so growth happens under
+    /// active stealing.
+    #[test]
+    fn concurrent_drain_executes_every_job_exactly_once() {
+        const STEALERS: usize = 4;
+        const JOBS: usize = 20_000;
+        for round in 0..4 {
+            let (tally, jobs) = tagged_jobs(JOBS);
+            let deque = Arc::new(Deque::new());
+            let done = Arc::new(AtomicUsize::new(0));
+
+            thread::scope(|scope| {
+                for _ in 0..STEALERS {
+                    let deque = Arc::clone(&deque);
+                    let done = Arc::clone(&done);
+                    scope.spawn(move || loop {
+                        match deque.steal() {
+                            Steal::Success(job) => unsafe { job.execute() },
+                            Steal::Retry => {}
+                            Steal::Empty => {
+                                if done.load(Ordering::Acquire) == 1 {
+                                    return;
+                                }
+                                thread::yield_now();
+                            }
+                        }
+                    });
+                }
+                // Owner: push everything (forcing several grows mid-steal),
+                // popping a bit now and then like a real worker, then drain.
+                for (i, job) in jobs.iter().enumerate() {
+                    unsafe { deque.push(job.job_ref()) };
+                    if i % 7 == round {
+                        if let Some(job) = unsafe { deque.pop() } {
+                            unsafe { job.execute() };
+                        }
+                    }
+                }
+                while let Some(job) = unsafe { deque.pop() } {
+                    unsafe { job.execute() };
+                }
+                done.store(1, Ordering::Release);
+            });
+
+            for (tag, count) in tally.iter().enumerate() {
+                assert_eq!(
+                    count.load(Ordering::Relaxed),
+                    1,
+                    "round {round}: tag {tag} executed {} times",
+                    count.load(Ordering::Relaxed)
+                );
+            }
+        }
+    }
+
+    /// Stealing from a deque the owner keeps (push, pop) cycling on: the
+    /// single-job CAS race in `pop` must never double-hand-out a job.
+    #[test]
+    fn last_job_race_is_exactly_once() {
+        const ROUNDS: usize = 30_000;
+        let (tally, jobs) = tagged_jobs(ROUNDS);
+        let deque = Arc::new(Deque::new());
+        let done = Arc::new(AtomicUsize::new(0));
+
+        thread::scope(|scope| {
+            let thief = {
+                let deque = Arc::clone(&deque);
+                let done = Arc::clone(&done);
+                scope.spawn(move || loop {
+                    match deque.steal() {
+                        Steal::Success(job) => unsafe { job.execute() },
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) == 1 {
+                                return;
+                            }
+                        }
+                    }
+                })
+            };
+            for job in &jobs {
+                unsafe {
+                    deque.push(job.job_ref());
+                    // Immediately contend for the single job just pushed.
+                    if let Some(job) = deque.pop() {
+                        job.execute();
+                    }
+                }
+            }
+            done.store(1, Ordering::Release);
+            thief.join().unwrap();
+        });
+
+        assert!(
+            tally.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+            "some job was lost or executed twice"
+        );
+    }
+}

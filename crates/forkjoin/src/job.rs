@@ -5,6 +5,18 @@
 //! worker ([`StackJob`]); the pointer handed to other workers ([`JobRef`]) is
 //! therefore only valid until the owning `join` call returns, which is
 //! guaranteed because `join` does not return before the job's latch is set.
+//!
+//! # Single-word job references
+//!
+//! A [`JobRef`] is exactly **one pointer**: it points at the [`JobHeader`]
+//! embedded as the *first* field of every concrete job type (`#[repr(C)]`
+//! guarantees the header and the job share an address).  The header stores
+//! the type-erased execute function, so no fat pointer or second word is
+//! needed.  This is what lets the Chase-Lev deque in
+//! [`deque`](crate::deque) keep each slot a single `AtomicPtr`: slot reads
+//! and writes are individual atomic operations, so the benign race in
+//! `steal` (reading a slot that a concurrent `push` may be about to reuse)
+//! reads a stale *whole* pointer rather than a torn half-and-half value.
 
 use std::any::Any;
 use std::cell::UnsafeCell;
@@ -15,15 +27,28 @@ use crate::latch::Latch;
 /// The payload captured when a job panics, re-thrown at the join point.
 pub(crate) type PanicPayload = Box<dyn Any + Send>;
 
+/// The type-erasure header embedded at offset 0 of every concrete job.
+///
+/// Given a `*const JobHeader`, the stored function pointer knows how to cast
+/// it back to the concrete job type and run it.
+pub(crate) struct JobHeader {
+    execute_fn: unsafe fn(*const JobHeader),
+}
+
+impl JobHeader {
+    /// Builds a header for a job type that embeds it at offset 0.
+    pub(crate) fn new(execute_fn: unsafe fn(*const JobHeader)) -> JobHeader {
+        JobHeader { execute_fn }
+    }
+}
+
 /// A type-erased pointer to a job that can be executed exactly once.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct JobRef {
-    pointer: *const (),
-    execute_fn: unsafe fn(*const ()),
+    pointer: *const JobHeader,
 }
 
-// Equality on the job address alone: two live jobs never share an address,
-// and fn-pointer comparison is unreliable across codegen units.
+// Equality on the job address alone: two live jobs never share an address.
 impl PartialEq for JobRef {
     fn eq(&self, other: &JobRef) -> bool {
         self.pointer == other.pointer
@@ -39,45 +64,52 @@ unsafe impl Send for JobRef {}
 unsafe impl Sync for JobRef {}
 
 impl JobRef {
-    /// Creates a job reference from a raw job pointer.
+    /// Creates a job reference from a job's embedded header.
     ///
     /// # Safety
     ///
-    /// `job` must stay valid until `execute` has completed (enforced by the
+    /// `header` must be the [`JobHeader`] at offset 0 of a live job, and the
+    /// job must stay valid until `execute` has completed (enforced by the
     /// latch protocol in `join`).
-    pub(crate) unsafe fn new<T: Job>(job: *const T) -> JobRef {
-        JobRef {
-            pointer: job as *const (),
-            execute_fn: |ptr| T::execute(ptr as *const T),
-        }
+    pub(crate) unsafe fn new(header: *const JobHeader) -> JobRef {
+        JobRef { pointer: header }
     }
 
     /// Runs the job.  Must be called at most once.
     pub(crate) unsafe fn execute(self) {
-        (self.execute_fn)(self.pointer)
+        ((*self.pointer).execute_fn)(self.pointer)
     }
-}
 
-/// A job that knows how to execute itself through a raw pointer.
-pub(crate) trait Job {
-    /// Executes the job stored behind `this`.
+    /// Decomposes the reference into its single raw word, for storage in an
+    /// atomic deque slot.
+    pub(crate) fn into_raw(self) -> *mut JobHeader {
+        self.pointer as *mut JobHeader
+    }
+
+    /// Rebuilds a reference from [`JobRef::into_raw`].
     ///
     /// # Safety
     ///
-    /// `this` must point to a live job that has not been executed yet.
-    unsafe fn execute(this: *const Self);
+    /// `pointer` must have come from `into_raw` on a job that is still live.
+    pub(crate) unsafe fn from_raw(pointer: *mut JobHeader) -> JobRef {
+        JobRef { pointer }
+    }
 }
 
 /// A job allocated on the stack of the `join` (or `install`) caller.
 ///
 /// The result (or panic payload) is written back into the job itself so the
-/// caller can pick it up after the latch fires.
+/// caller can pick it up after the latch fires.  `#[repr(C)]` with the
+/// header first is load-bearing: `execute_erased` casts the header pointer
+/// straight back to the job.
+#[repr(C)]
 pub(crate) struct StackJob<L, F, R>
 where
     L: Latch,
     F: FnOnce() -> R + Send,
     R: Send,
 {
+    header: JobHeader,
     latch: L,
     func: UnsafeCell<Option<F>>,
     result: UnsafeCell<JobResult<R>>,
@@ -97,6 +129,7 @@ where
 {
     pub(crate) fn new(func: F, latch: L) -> Self {
         StackJob {
+            header: JobHeader::new(Self::execute_erased),
             latch,
             func: UnsafeCell::new(Some(func)),
             result: UnsafeCell::new(JobResult::None),
@@ -114,7 +147,10 @@ where
     /// The caller must keep `self` alive (and not move it) until the latch is
     /// set.
     pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
-        JobRef::new(self)
+        // Cast the *whole-job* pointer rather than borrowing `self.header`:
+        // `execute_erased` casts back to the full job, so the pointer must
+        // carry provenance for the entire object, not just the header field.
+        JobRef::new((self as *const Self).cast::<JobHeader>())
     }
 
     /// Runs the closure inline (the "nobody stole it" fast path) and returns
@@ -141,16 +177,17 @@ where
             JobResult::Panic(payload) => panic::resume_unwind(payload),
         }
     }
-}
 
-impl<L, F, R> Job for StackJob<L, F, R>
-where
-    L: Latch,
-    F: FnOnce() -> R + Send,
-    R: Send,
-{
-    unsafe fn execute(this: *const Self) {
-        let this = &*this;
+    /// The type-erased execute function stored in the header.
+    ///
+    /// # Safety
+    ///
+    /// `header` must point at the header of a live, not-yet-executed
+    /// `StackJob<L, F, R>` of exactly these type parameters.
+    unsafe fn execute_erased(header: *const JobHeader) {
+        // `#[repr(C)]` puts the header at offset 0, so the header pointer
+        // *is* the job pointer.
+        let this = &*(header as *const Self);
         let func = (*this.func.get()).take().expect("job already executed");
         let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
             Ok(value) => JobResult::Ok(value),
@@ -198,5 +235,16 @@ mod tests {
         // Latch is intentionally not set by `run_inline`; the joining worker
         // already has the value in hand.
         assert!(!job.latch().probe());
+    }
+
+    #[test]
+    fn job_ref_raw_roundtrip_preserves_identity() {
+        let job = StackJob::new(|| 1, SpinLatch::new());
+        let job_ref = unsafe { job.as_job_ref() };
+        let raw = job_ref.into_raw();
+        let back = unsafe { JobRef::from_raw(raw) };
+        assert_eq!(job_ref, back);
+        unsafe { back.execute() };
+        assert_eq!(unsafe { job.extract_result() }, 1);
     }
 }

@@ -9,15 +9,22 @@
 //!
 //! # Design
 //!
-//! * A [`Pool`] owns `n` worker threads.  Each worker has a deque it pushes
-//!   and pops LIFO while thieves steal FIFO; a global injector queue receives
-//!   jobs submitted from outside the pool (via [`Pool::install`]).
+//! * A [`Pool`] owns `n` worker threads.  Each worker owns a **lock-free
+//!   Chase-Lev deque** it pushes and pops LIFO while thieves steal FIFO with
+//!   a single CAS — `join`'s hot path never takes a lock (see the `deque`
+//!   module for the memory-ordering contract).  A mutexed FIFO injector
+//!   queue receives jobs submitted from outside the pool (via
+//!   [`Pool::install`]); it is touched once per external submission, not
+//!   once per `join`.
 //! * [`join(a, b)`](join) called **on a worker thread** pushes `b` onto the
 //!   local deque, runs `a` inline, and then either pops `b` back (if nobody
 //!   stole it) or helps with other work until the thief finishes `b`.
 //! * [`join`] called **outside any pool** simply runs `a` then `b`
 //!   sequentially, so library code written against this crate works in unit
 //!   tests and single-threaded contexts without ceremony.
+//! * Idle workers sleep on a condvar; a fenced Dekker handshake between the
+//!   lock-free publish and the sleeper's registration guarantees a push is
+//!   never slept through (the `registry` module documents the protocol).
 //!
 //! # Example
 //!
@@ -42,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+mod deque;
 mod job;
 mod latch;
 mod pool;

@@ -3,50 +3,71 @@
 //!
 //! # Queue discipline
 //!
-//! Each worker owns a deque of [`JobRef`]s.  The owner pushes and pops at the
-//! **back** (LIFO — the most recently forked job is the one whose data is
-//! hottest in cache), while thieves and the owner-helping-while-blocked steal
-//! from the **front** (FIFO — the oldest fork is the biggest remaining chunk
-//! of work).  A global injector queue receives jobs submitted from outside
-//! the pool via [`Pool::install`](crate::Pool::install) and is drained FIFO.
+//! Each worker owns a lock-free Chase-Lev deque ([`crate::deque`]) of
+//! [`JobRef`]s.  The owner pushes and pops at the **bottom** (LIFO — the
+//! most recently forked job is the one whose data is hottest in cache),
+//! while thieves and the owner-helping-while-blocked steal from the **top**
+//! (FIFO — the oldest fork is the biggest remaining chunk of work).  The
+//! hot path of `join` — owner `push` in the fork, owner `pop` in the
+//! retire — therefore never takes a lock; thieves claim jobs with a single
+//! CAS on the deque's `top` index.
 //!
-//! The deques here are `Mutex<VecDeque>`-based rather than lock-free
-//! Chase-Lev deques: `JobRef` is two words and the critical sections are a
-//! handful of instructions, so contention is modest at the scales this
-//! reproduction currently targets.  Swapping in a lock-free deque behind the
-//! same `push`/`pop`/`steal` surface is a planned follow-up optimisation.
+//! A global injector queue receives jobs submitted from outside the pool
+//! via [`Pool::install`](crate::Pool::install) and is drained FIFO.  The
+//! injector stays a `Mutex<VecDeque>` deliberately: *pushes* happen once
+//! per `install` (per whole batch of work), never per `join`, and keeping
+//! it mutexed preserves strict FIFO fairness for external callers.  Note
+//! that workers with nothing to pop do probe it — `steal_work` checks the
+//! injector first on every steal attempt, so an idle-heavy pool takes that
+//! lock per attempt; what the Chase-Lev swap removes is the lock on the
+//! *owner* path, which every single `join` pays.
+//!
+//! # Sleep/wake protocol
+//!
+//! Idle workers block on a condvar; they must never sleep through a push
+//! ("lost wakeup").  The handshake is a Dekker-style store/load exchange:
+//!
+//! * A **producer** publishes its job (lock-free deque push or injector
+//!   push), executes a `SeqCst` fence, then reads the sleeper count — and
+//!   only takes the sleep mutex to notify when it is non-zero.
+//! * A **would-be sleeper** increments the sleeper count (a `SeqCst` RMW),
+//!   executes a `SeqCst` fence, then re-checks every queue before waiting.
+//!
+//! With both fences in place, at least one side must see the other: either
+//! the producer observes the registered sleeper and notifies (the notify
+//! itself is ordered by the sleep mutex, which the sleeper holds except
+//! while waiting), or the sleeper's re-check observes the published job and
+//! skips the wait.  The previous mutexed-deque implementation got the same
+//! guarantee for free from the queue mutex; what a lock-free push pays
+//! instead is `notify_work`'s `SeqCst` fence plus one relaxed load per
+//! `join` — a full barrier, but uncontended and lock-free, versus the two
+//! mutex round-trips (push + pop) each `join` paid before.
 
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 
+use crate::deque::{Deque, Steal};
 use crate::job::{JobRef, JobResult, PanicPayload, StackJob};
 use crate::latch::SpinLatch;
 
-/// A double-ended job queue: owner end at the back, thief end at the front.
+/// The FIFO queue for jobs injected from outside the pool.  Mutexed on
+/// purpose — see the module docs.
 #[derive(Default)]
-pub(crate) struct JobQueue {
+struct Injector {
     jobs: Mutex<VecDeque<JobRef>>,
 }
 
-impl JobQueue {
-    fn new() -> Self {
-        JobQueue::default()
-    }
-
+impl Injector {
     fn push(&self, job: JobRef) {
         self.jobs.lock().unwrap().push_back(job);
     }
 
     fn pop(&self) -> Option<JobRef> {
-        self.jobs.lock().unwrap().pop_back()
-    }
-
-    fn steal(&self) -> Option<JobRef> {
         self.jobs.lock().unwrap().pop_front()
     }
 
@@ -58,9 +79,10 @@ impl JobQueue {
 /// State shared by all workers of one pool.
 pub(crate) struct Registry {
     /// FIFO queue for jobs injected from outside the pool.
-    injector: JobQueue,
-    /// One deque per worker, indexed by worker index.
-    queues: Vec<JobQueue>,
+    injector: Injector,
+    /// One Chase-Lev deque per worker, indexed by worker index.  Owner
+    /// operations are reserved to that worker; anyone may steal.
+    queues: Vec<Deque>,
     /// Guards the idle-worker condition variable.
     sleep_mutex: Mutex<()>,
     /// Signalled whenever new work arrives or the pool shuts down.
@@ -75,8 +97,8 @@ pub(crate) struct Registry {
 impl Registry {
     pub(crate) fn new(num_threads: usize) -> Arc<Registry> {
         Arc::new(Registry {
-            injector: JobQueue::new(),
-            queues: (0..num_threads).map(|_| JobQueue::new()).collect(),
+            injector: Injector::default(),
+            queues: (0..num_threads).map(|_| Deque::new()).collect(),
             sleep_mutex: Mutex::new(()),
             work_available: Condvar::new(),
             sleepers: AtomicUsize::new(0),
@@ -103,14 +125,14 @@ impl Registry {
 
     /// Wakes sleeping workers because new work was published.
     ///
-    /// The sleeper count is checked first so that the common case (all
-    /// workers busy) does not touch the mutex at all.  Skipping the notify on
-    /// `sleepers == 0` is safe because a would-be sleeper registers itself
-    /// *before* its final work check (see [`Registry::sleep_until_work`]): if
-    /// this load misses the registration, the sleeper's check — which locks
-    /// the queue mutex our push just released — must see the pushed job.
-    fn notify_work(&self) {
-        if self.sleepers.load(Ordering::SeqCst) > 0 {
+    /// Producer half of the Dekker handshake described in the module docs:
+    /// the `SeqCst` fence orders our job-publishing store before the sleeper
+    /// load, pairing with the sleeper's register-then-fence-then-recheck
+    /// sequence.  The common case (no sleepers) is one fence and one load —
+    /// no mutex.
+    pub(crate) fn notify_work(&self) {
+        fence(Ordering::SeqCst);
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
             let _guard = self.sleep_mutex.lock().unwrap();
             self.work_available.notify_all();
         }
@@ -119,15 +141,23 @@ impl Registry {
     /// Finds a job for worker `thief`: the injector first (external requests
     /// get priority so `install` callers are never starved), then the other
     /// workers' deques in round-robin order starting after the thief.
+    ///
+    /// A `Retry` from a victim means some other thread won a claim race
+    /// (progress happened system-wide), so spinning on that victim until it
+    /// settles into `Success` or `Empty` cannot livelock.
     fn steal_work(&self, thief: usize) -> Option<JobRef> {
-        if let Some(job) = self.injector.steal() {
+        if let Some(job) = self.injector.pop() {
             return Some(job);
         }
         let n = self.queues.len();
         for offset in 1..n {
             let victim = (thief + offset) % n;
-            if let Some(job) = self.queues[victim].steal() {
-                return Some(job);
+            loop {
+                match self.queues[victim].steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
             }
         }
         None
@@ -136,17 +166,17 @@ impl Registry {
     /// Blocks the calling worker until work may be available (or the pool is
     /// shutting down).  No polling: idle workers cost nothing.
     ///
-    /// Lost-wakeup protocol: the worker registers itself as a sleeper
-    /// *before* re-checking the queues, and only then waits.  A producer
-    /// either observes the registration (and takes the mutex to notify) or
-    /// published its job before the registration — in which case the re-check
-    /// below, which acquires the queue mutex the producer's push released,
-    /// must observe the job and skip the wait.  Spurious wakeups that find
-    /// the queues already drained by faster workers simply loop back to
-    /// waiting.
+    /// Sleeper half of the Dekker handshake (module docs): register, fence,
+    /// re-check, and only then wait.  A producer either observes the
+    /// registration (and takes the mutex to notify — which cannot interleave
+    /// with the re-check, since we hold the mutex except while waiting) or
+    /// published its job before our fence, in which case the re-check sees
+    /// it and we skip the wait.  Spurious wakeups that find the queues
+    /// already drained by faster workers simply loop back to waiting.
     fn sleep_until_work(&self) {
         let mut guard = self.sleep_mutex.lock().unwrap();
         self.sleepers.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
         while !self.has_visible_work() && !self.terminating.load(Ordering::Acquire) {
             guard = self.work_available.wait(guard).unwrap();
         }
@@ -183,8 +213,23 @@ impl WorkerThread {
         &self.registry
     }
 
-    fn queue(&self) -> &JobQueue {
-        &self.registry.queues[self.index]
+    /// Pushes onto this worker's own deque (the fork half of `join`).
+    ///
+    /// # Safety
+    ///
+    /// `self` must be the current thread's `WorkerThread`: deque owner
+    /// operations are single-threaded by contract.
+    unsafe fn push(&self, job: JobRef) {
+        self.registry.queues[self.index].push(job);
+    }
+
+    /// Pops from this worker's own deque (newest fork first).
+    ///
+    /// # Safety
+    ///
+    /// `self` must be the current thread's `WorkerThread`.
+    unsafe fn pop(&self) -> Option<JobRef> {
+        self.registry.queues[self.index].pop()
     }
 }
 
@@ -194,13 +239,11 @@ pub(crate) fn worker_main(registry: Arc<Registry>, index: usize) {
     WORKER_THREAD.with(|cell| cell.set(&worker));
 
     loop {
-        let job = worker
-            .queue()
-            .pop()
-            .or_else(|| worker.registry.steal_work(worker.index));
+        // SAFETY: this thread is the owner of `queues[index]`.
+        let job = unsafe { worker.pop() }.or_else(|| worker.registry.steal_work(worker.index));
         match job {
             // SAFETY: every published JobRef stays valid until executed (the
-            // join/install latch protocol), and is queued exactly once.
+            // join/install latch protocol), and is dequeued exactly once.
             Some(job) => unsafe { job.execute() },
             None => {
                 if worker.registry.terminating.load(Ordering::Acquire) {
@@ -225,7 +268,8 @@ enum BranchResult<R> {
 ///
 /// Pushes `b` onto the local deque (making it stealable), runs `a` inline,
 /// then either pops `b` back and runs it inline, or — if a thief took it —
-/// helps execute other jobs until the thief sets `b`'s latch.
+/// helps execute other jobs until the thief sets `b`'s latch.  Both the push
+/// and the pop are lock-free deque owner operations.
 ///
 /// Panic protocol: neither branch's panic is allowed to unwind until *both*
 /// branches have stopped running, because `b`'s job lives on this stack
@@ -243,7 +287,7 @@ where
 {
     let job_b = StackJob::new(b, SpinLatch::new());
     let job_b_ref = job_b.as_job_ref();
-    worker.queue().push(job_b_ref);
+    worker.push(job_b_ref);
     worker.registry.notify_work();
 
     let result_a = panic::catch_unwind(AssertUnwindSafe(a));
@@ -275,7 +319,7 @@ where
                 JobResult::None => unreachable!("latch set but no result recorded"),
             };
         }
-        match worker.queue().pop() {
+        match worker.pop() {
             Some(popped) if popped == job_ref => {
                 // Fast path: nobody stole it, run it on our own stack.  The
                 // panic is contained so the caller can sequence unwinding.

@@ -1,0 +1,255 @@
+//! Deterministic scheduler microbenchmark for the `forkjoin` crate.
+//!
+//! Three workloads, each at 1/2/4 worker threads:
+//!
+//! * `fib` — parallel Fibonacci with a `join` at **every** level (no
+//!   sequential cutoff), so the runtime is almost pure scheduler overhead.
+//!   The join count is known analytically, which turns the wall time into a
+//!   per-join cost (`ns_per_join`).
+//! * `tree` — a balanced binary tree of joins with trivial leaves; same
+//!   idea with a perfectly regular shape (2^depth - 1 joins).
+//! * `ist_ops` — the end-to-end consumer: mixed `IstSet` op-batches through
+//!   the [`batchapi::BatchedSet`] trait, i.e. the workload whose speedups
+//!   `BENCH_pbist.json` records, re-measured on top of this scheduler.
+//!
+//! Std-only (`std::time::Instant`), seeded workloads, fixed configuration —
+//! two runs on the same machine measure the same work.  Emits one line per
+//! measurement to stdout and writes the full result set to
+//! `BENCH_forkjoin.json` in the current directory.
+//!
+//! ```sh
+//! cargo run --release --bin bench_forkjoin
+//! # CI smoke: tiny sizes, one repetition
+//! BENCH_FORKJOIN_QUICK=1 cargo run --release --bin bench_forkjoin
+//! ```
+
+use std::time::Instant;
+
+use pbist_repro::{
+    batchapi::{Batch, BatchedSet},
+    forkjoin::{join, Pool},
+    pbist::IstSet,
+    workloads::{self, OpKind},
+};
+
+/// Benchmark sizes; `quick` is the CI smoke configuration.
+struct Config {
+    /// `fib(n)` argument; joins = fib(n+1) - 1.
+    fib_n: u64,
+    /// Balanced-tree depth; joins = 2^depth - 1.
+    tree_depth: u32,
+    /// Keys pre-loaded into the `IstSet`.
+    ist_keys: usize,
+    /// Number of mixed op-batches applied to the set.
+    ist_batches: usize,
+    /// Operations per batch.
+    ist_batch_len: usize,
+    /// Timed repetitions per measurement; min and mean are reported.
+    reps: usize,
+}
+
+const FULL: Config = Config {
+    fib_n: 26,
+    tree_depth: 17,
+    ist_keys: 50_000,
+    ist_batches: 20,
+    ist_batch_len: 2_000,
+    reps: 5,
+};
+
+const QUICK: Config = Config {
+    fib_n: 16,
+    tree_depth: 10,
+    ist_keys: 2_000,
+    ist_batches: 4,
+    ist_batch_len: 200,
+    reps: 1,
+};
+
+struct Measurement {
+    workload: &'static str,
+    threads: usize,
+    best_ms: f64,
+    mean_ms: f64,
+    /// Number of `join` calls the workload performs (`None` for `ist_ops`,
+    /// where the join count depends on tree shape).
+    joins: Option<u64>,
+}
+
+fn main() {
+    let quick = std::env::var_os("BENCH_FORKJOIN_QUICK").is_some();
+    let cfg = if quick { QUICK } else { FULL };
+
+    let mut results = Vec::new();
+    for &threads in &[1usize, 2, 4] {
+        let pool = Pool::new(threads).expect("pool");
+        results.push(bench_fib(&pool, &cfg));
+        results.push(bench_tree(&pool, &cfg));
+        results.push(bench_ist_ops(&pool, &cfg));
+    }
+
+    for m in &results {
+        let per_join = m
+            .joins
+            .map(|j| format!("  {:9.1} ns/join", m.best_ms * 1e6 / j as f64))
+            .unwrap_or_default();
+        println!(
+            "{:>8} threads={}: best {:9.3} ms  mean {:9.3} ms{per_join}",
+            m.workload, m.threads, m.best_ms, m.mean_ms
+        );
+    }
+
+    let json = render_json(&cfg, quick, &results);
+    std::fs::write("BENCH_forkjoin.json", &json).expect("write BENCH_forkjoin.json");
+    println!("wrote BENCH_forkjoin.json ({} measurements)", results.len());
+}
+
+/// Fibonacci with a join per internal call.  `fib(0..=1)` are leaves, so the
+/// number of joins is `fib(n+1) - 1` (internal nodes of the call tree).
+fn par_fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = join(|| par_fib(n - 1), || par_fib(n - 2));
+    a + b
+}
+
+/// Sequential fib used both to check the parallel result and to size the
+/// join count.
+fn seq_fib(n: u64) -> u64 {
+    let (mut a, mut b) = (0u64, 1u64);
+    for _ in 0..n {
+        let next = a + b;
+        a = b;
+        b = next;
+    }
+    a
+}
+
+fn bench_fib(pool: &Pool, cfg: &Config) -> Measurement {
+    let expect = seq_fib(cfg.fib_n);
+    let times = time_reps(cfg.reps, || {
+        let got = pool.install(|| par_fib(cfg.fib_n));
+        assert_eq!(got, expect);
+    });
+    Measurement {
+        workload: "fib",
+        threads: pool.num_threads(),
+        best_ms: min_of(&times),
+        mean_ms: mean_of(&times),
+        joins: Some(seq_fib(cfg.fib_n + 1) - 1),
+    }
+}
+
+/// A balanced binary tree of joins; every leaf contributes 1.
+fn tree_sum(depth: u32) -> u64 {
+    if depth == 0 {
+        return 1;
+    }
+    let (a, b) = join(|| tree_sum(depth - 1), || tree_sum(depth - 1));
+    a + b
+}
+
+fn bench_tree(pool: &Pool, cfg: &Config) -> Measurement {
+    let expect = 1u64 << cfg.tree_depth;
+    let times = time_reps(cfg.reps, || {
+        let got = pool.install(|| tree_sum(cfg.tree_depth));
+        assert_eq!(got, expect);
+    });
+    Measurement {
+        workload: "tree",
+        threads: pool.num_threads(),
+        best_ms: min_of(&times),
+        mean_ms: mean_of(&times),
+        joins: Some((1u64 << cfg.tree_depth) - 1),
+    }
+}
+
+/// End-to-end batched-IST run: the scheduler's real consumer.
+fn bench_ist_ops(pool: &Pool, cfg: &Config) -> Measurement {
+    let key_range = 0..(cfg.ist_keys as u64 * 16);
+    let base = workloads::uniform_keys_distinct(0x5EED, cfg.ist_keys, key_range.clone());
+    let ops = workloads::mixed_op_batches(
+        0xF0CC,
+        cfg.ist_batches,
+        cfg.ist_batch_len,
+        key_range,
+        (2, 1, 1),
+    );
+    let times = time_reps(cfg.reps, || {
+        let mut set = pool.install(|| IstSet::from_unsorted(base.clone()));
+        pool.install(|| {
+            for op in &ops {
+                let batch = Batch::from_unsorted(op.keys.clone());
+                match op.kind {
+                    OpKind::Contains => {
+                        let hits = set.batch_contains(&batch);
+                        assert_eq!(hits.len(), batch.len());
+                    }
+                    OpKind::Insert => {
+                        set.batch_insert(&batch);
+                    }
+                    OpKind::Remove => {
+                        set.batch_remove(&batch);
+                    }
+                }
+            }
+        });
+    });
+    Measurement {
+        workload: "ist_ops",
+        threads: pool.num_threads(),
+        best_ms: min_of(&times),
+        mean_ms: mean_of(&times),
+        joins: None,
+    }
+}
+
+fn time_reps(reps: usize, mut f: impl FnMut()) -> Vec<f64> {
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect()
+}
+
+fn min_of(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+fn mean_of(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn render_json(cfg: &Config, quick: bool, results: &[Measurement]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"forkjoin\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"quick\": {quick}, \"fib_n\": {}, \"tree_depth\": {}, \"ist_keys\": {}, \"ist_batches\": {}, \"ist_batch_len\": {}, \"reps\": {}}},\n",
+        cfg.fib_n, cfg.tree_depth, cfg.ist_keys, cfg.ist_batches, cfg.ist_batch_len, cfg.reps
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let joins = m
+            .joins
+            .map(|j| j.to_string())
+            .unwrap_or_else(|| "null".into());
+        let ns_per_join = m
+            .joins
+            .map(|j| format!("{:.1}", m.best_ms * 1e6 / j as f64))
+            .unwrap_or_else(|| "null".into());
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"threads\": {}, \"best_ms\": {:.4}, \"mean_ms\": {:.4}, \"joins\": {joins}, \"ns_per_join\": {ns_per_join}}}{}\n",
+            m.workload,
+            m.threads,
+            m.best_ms,
+            m.mean_ms,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
