@@ -15,6 +15,10 @@ use std::fmt::Debug;
 
 use batchapi::{Batch, BatchedSet};
 
+/// Batches at or below this length take the sequential in-place path in the
+/// `_report` variants; longer ones reuse the allocating parallel fan-out.
+const SEQ_REPORT_LEN: usize = 1024;
+
 /// A set of keys stored as one sorted, deduplicated array.
 ///
 /// Point queries are binary searches; batched operations (through the
@@ -126,6 +130,70 @@ impl<K: Ord + Clone + Send + Sync> BatchedSet<K> for SortedArraySet<K> {
         self.keys = parprim::filter(&self.keys, |k| batch.binary_search(k).is_err());
         removed
     }
+
+    // Report variants: small batches (where per-batch allocation overhead
+    // actually shows — the flat-combining round loop) fill the reused buffer
+    // with a sequential scan; large batches keep the parallel fan-out and
+    // pay one move into `out`.
+
+    fn batch_contains_report(&self, batch: &Batch<K>, out: &mut Vec<bool>) {
+        if batch.len() <= SEQ_REPORT_LEN {
+            out.clear();
+            out.extend(batch.iter().map(|q| self.contains(q)));
+        } else {
+            *out = self.batch_contains(batch);
+        }
+    }
+
+    fn batch_insert_report(&mut self, batch: &Batch<K>, out: &mut Vec<bool>) {
+        if batch.len() <= SEQ_REPORT_LEN {
+            out.clear();
+            out.extend(batch.iter().map(|q| !self.contains(q)));
+            let fresh: Vec<K> = batch
+                .iter()
+                .zip(out.iter())
+                .filter(|(_, &new)| new)
+                .map(|(q, _)| q.clone())
+                .collect();
+            self.keys = parprim::merge(&self.keys, &fresh);
+        } else {
+            *out = self.batch_insert(batch);
+        }
+    }
+
+    fn batch_remove_report(&mut self, batch: &Batch<K>, out: &mut Vec<bool>) {
+        if batch.len() <= SEQ_REPORT_LEN {
+            out.clear();
+            out.extend(batch.iter().map(|q| self.contains(q)));
+            self.keys.retain(|k| batch.binary_search(k).is_err());
+        } else {
+            *out = self.batch_remove(batch);
+        }
+    }
+
+    // Point mutators: one binary search plus an in-place shift — the flat
+    // array's O(n) per-op cost, without the singleton-batch detour of the
+    // trait defaults.
+
+    fn insert_one(&mut self, key: &K) -> bool {
+        match self.keys.binary_search(key) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.keys.insert(pos, key.clone());
+                true
+            }
+        }
+    }
+
+    fn remove_one(&mut self, key: &K) -> bool {
+        match self.keys.binary_search(key) {
+            Ok(pos) => {
+                self.keys.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +259,37 @@ mod tests {
         assert!(set.batch_insert(&empty).is_empty());
         assert!(set.batch_remove(&empty).is_empty());
         assert_eq!(set.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn report_variants_match_allocating_ones() {
+        // Cover both the sequential small-batch path and the parallel
+        // fall-through above SEQ_REPORT_LEN.
+        for batch_len in [10usize, SEQ_REPORT_LEN + 500] {
+            let keys: Vec<u64> = (0..5_000u64).map(|i| i * 2).collect();
+            let mut a = SortedArraySet::from_sorted(keys.clone());
+            let mut b = SortedArraySet::from_sorted(keys);
+            let batch = Batch::from_unsorted((0..batch_len as u64).map(|i| i * 3).collect());
+            let mut out = vec![true; 7]; // stale contents must be cleared
+
+            a.batch_contains_report(&batch, &mut out);
+            assert_eq!(out, b.batch_contains(&batch), "len {batch_len}");
+            a.batch_insert_report(&batch, &mut out);
+            assert_eq!(out, b.batch_insert(&batch), "len {batch_len}");
+            a.batch_remove_report(&batch, &mut out);
+            assert_eq!(out, b.batch_remove(&batch), "len {batch_len}");
+            assert_eq!(a.as_slice(), b.as_slice(), "len {batch_len}");
+        }
+    }
+
+    #[test]
+    fn point_mutators_edit_in_place() {
+        let mut set = SortedArraySet::from_sorted(vec![2u64, 4, 6]);
+        assert!(set.insert_one(&3));
+        assert!(!set.insert_one(&3));
+        assert!(set.remove_one(&4));
+        assert!(!set.remove_one(&4));
+        assert_eq!(set.as_slice(), &[2, 3, 6]);
     }
 
     #[test]

@@ -164,6 +164,56 @@ pub trait BatchedSet<K: Ord> {
     /// Removes every batch element: `result[i]` is `true` iff `batch[i]` was
     /// present (and has now been removed).
     fn batch_remove(&mut self, batch: &Batch<K>) -> Vec<bool>;
+
+    /// Like [`BatchedSet::batch_contains`], but reports the flags through
+    /// `out` (cleared first, then filled to exactly `batch.len()` entries),
+    /// so a caller issuing many batches can reuse one buffer instead of
+    /// allocating a fresh `Vec` per batch.  The flat-combining front-end's
+    /// round loop is the motivating consumer.
+    ///
+    /// The default implementation delegates to the allocating variant;
+    /// implementations that can write flags in place should override it.
+    fn batch_contains_report(&self, batch: &Batch<K>, out: &mut Vec<bool>) {
+        out.clear();
+        out.append(&mut self.batch_contains(batch));
+    }
+
+    /// Result-reporting variant of [`BatchedSet::batch_insert`]: per-key
+    /// "newly inserted?" flags land in `out` (cleared first), reusing its
+    /// capacity across calls.
+    fn batch_insert_report(&mut self, batch: &Batch<K>, out: &mut Vec<bool>) {
+        out.clear();
+        out.append(&mut self.batch_insert(batch));
+    }
+
+    /// Result-reporting variant of [`BatchedSet::batch_remove`]: per-key
+    /// "was present?" flags land in `out` (cleared first), reusing its
+    /// capacity across calls.
+    fn batch_remove_report(&mut self, batch: &Batch<K>, out: &mut Vec<bool>) {
+        out.clear();
+        out.append(&mut self.batch_remove(batch));
+    }
+
+    /// Inserts a single key, returning `true` iff it was newly inserted —
+    /// the degenerate batch.  The default wraps the key in a singleton
+    /// [`Batch`]; backends with a cheaper point path should override (a
+    /// combining front-end's rounds degenerate to single operations
+    /// whenever clients outnumber actual concurrency).
+    fn insert_one(&mut self, key: &K) -> bool
+    where
+        K: Clone,
+    {
+        self.batch_insert(&Batch::from_unsorted(vec![key.clone()]))[0]
+    }
+
+    /// Removes a single key, returning `true` iff it was present.  See
+    /// [`BatchedSet::insert_one`].
+    fn remove_one(&mut self, key: &K) -> bool
+    where
+        K: Clone,
+    {
+        self.batch_remove(&Batch::from_unsorted(vec![key.clone()]))[0]
+    }
 }
 
 #[cfg(test)]
@@ -211,5 +261,75 @@ mod tests {
         let batch = Batch::from_unsorted(vec![10u64, 20, 30]);
         assert_eq!(batch.iter().sum::<u64>(), 60);
         assert_eq!(batch.binary_search(&20), Ok(1));
+    }
+
+    /// Minimal trait impl exercising only the *allocating* batch methods, so
+    /// the `_report` defaults below are the trait's own delegation.
+    struct ToySet(Vec<u64>);
+
+    impl BatchedSet<u64> for ToySet {
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn contains(&self, key: &u64) -> bool {
+            self.0.binary_search(key).is_ok()
+        }
+        fn rank(&self, key: &u64) -> usize {
+            self.0.partition_point(|k| k < key)
+        }
+        fn min(&self) -> Option<&u64> {
+            self.0.first()
+        }
+        fn max(&self) -> Option<&u64> {
+            self.0.last()
+        }
+        fn batch_contains(&self, batch: &Batch<u64>) -> Vec<bool> {
+            batch.iter().map(|q| self.contains(q)).collect()
+        }
+        fn batch_insert(&mut self, batch: &Batch<u64>) -> Vec<bool> {
+            let flags: Vec<bool> = batch.iter().map(|q| !self.contains(q)).collect();
+            self.0.extend(
+                batch
+                    .iter()
+                    .zip(&flags)
+                    .filter(|(_, &f)| f)
+                    .map(|(q, _)| *q),
+            );
+            self.0.sort_unstable();
+            flags
+        }
+        fn batch_remove(&mut self, batch: &Batch<u64>) -> Vec<bool> {
+            let flags: Vec<bool> = batch.iter().map(|q| self.contains(q)).collect();
+            self.0.retain(|k| batch.binary_search(k).is_err());
+            flags
+        }
+    }
+
+    #[test]
+    fn default_report_variants_match_allocating_ones() {
+        let mut set = ToySet(vec![2, 4, 6]);
+        let batch = Batch::from_unsorted(vec![1u64, 2, 6, 9]);
+        let mut out = vec![true; 32]; // stale contents must be cleared
+
+        set.batch_contains_report(&batch, &mut out);
+        assert_eq!(out, vec![false, true, true, false]);
+
+        set.batch_insert_report(&batch, &mut out);
+        assert_eq!(out, vec![true, false, false, true]);
+        assert_eq!(set.0, vec![1, 2, 4, 6, 9]);
+
+        set.batch_remove_report(&batch, &mut out);
+        assert_eq!(out, vec![true, true, true, true]);
+        assert_eq!(set.0, vec![4]);
+    }
+
+    #[test]
+    fn default_point_mutators_match_singleton_batches() {
+        let mut set = ToySet(vec![3, 5]);
+        assert!(set.insert_one(&4));
+        assert!(!set.insert_one(&4));
+        assert!(set.remove_one(&3));
+        assert!(!set.remove_one(&3));
+        assert_eq!(set.0, vec![4, 5]);
     }
 }

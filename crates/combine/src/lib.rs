@@ -1,0 +1,1076 @@
+//! Flat-combining concurrent front-end for batched sets.
+//!
+//! The paper's data structures consume *batches*: sorted runs of keys
+//! processed wholesale through [`batchapi::BatchedSet`].  Real traffic does
+//! not arrive that way — many client threads each issue *single* inserts,
+//! removes and lookups.  [`ConcurrentSet`] is the ingress layer between the
+//! two worlds: clients publish one operation each into a lock-free list, one
+//! thread elects itself **combiner**, drains everything published so far
+//! into one batch per operation kind, executes the three batched operations
+//! on the backing set (inside a [`forkjoin::Pool`] when the round is large
+//! enough to parallelise), and hands each client its individual result.
+//!
+//! This is the classic *flat combining* construction (Hendler, Incze,
+//! Shavit & Tzafrir, SPAA '10) specialised to the batched-set API, where it
+//! is a particularly good fit: combining does not just cut synchronisation
+//! — the drained round *is* the sorted batch the backend is optimised for.
+//!
+//! # Protocol
+//!
+//! 0. **Fast path** — a client that finds the combiner flag free takes it
+//!    directly (one CAS), flushes anything already published, runs its own
+//!    operation against the backend's point path, and unlocks — no slot,
+//!    no completion handshake.  Under no contention the front-end costs a
+//!    CAS plus a load over a bare mutex; the published protocol below is
+//!    the contended path, and an operation may go either way.
+//! 1. **Publish** — the client embeds an op slot (`OpSlot`) on its own stack (the
+//!    same single-word-pointer technique as `forkjoin`'s stack jobs: the
+//!    slot never moves until its `done` flag is set) and pushes it onto the
+//!    `ingress` Treiber stack with a `Release` CAS.  Push-only publishing
+//!    makes the usual Treiber ABA hazard irrelevant: nothing is ever popped
+//!    one-at-a-time, the combiner claims the whole list with one `swap`.
+//! 2. **Elect** — any client with a pending op may become the combiner by
+//!    CASing the `combiner` flag `false → true` (`Acquire`; the paired
+//!    `Release` store on unlock carries the backing set's mutations from
+//!    each combiner to the next).
+//! 3. **Combine** — the combiner swaps the ingress head to null
+//!    (`Acquire`, pairing with every publisher's `Release` CAS so slot
+//!    fields are visible), splits the drained slots by kind, and builds one
+//!    sorted [`Batch`] per kind.
+//! 4. **Execute** — the three batched operations run in a fixed order:
+//!    `batch_contains`, then `batch_insert`, then `batch_remove`.  That
+//!    order is the round's linearisation order (see below).  Rounds of at
+//!    least [`Options::pool_cutoff`] operations run inside the fork-join
+//!    pool; smaller rounds execute inline on the combiner thread, where the
+//!    batched operations degrade to their sequential paths — cheaper than a
+//!    pool round-trip for a handful of keys.
+//! 5. **Distribute** — per-key flags fan back out to per-op results (keys
+//!    duplicated across ops of one kind are resolved as if the ops ran
+//!    sequentially: the first insert/remove of a key in the round gets the
+//!    batch's flag, later duplicates observe the first one's effect).  Each
+//!    slot's result is written *before* its `done` flag is set (`Release`);
+//!    after that store the combiner never touches the slot again, because
+//!    the client — who pairs with an `Acquire` load — is free to pop it off
+//!    its stack.
+//! 6. **Wake** — the combiner releases the `combiner` flag and then wakes
+//!    waiters through the same fenced Dekker handshake as the scheduler's
+//!    sleep path (`SeqCst` fence, then a sleeper-count check; sleepers
+//!    register with a `SeqCst` RMW, fence, and re-check before waiting), so
+//!    a completion or an unlock can never be slept through.
+//!
+//! # Linearisability
+//!
+//! Each round commits atomically between two combiner-lock critical
+//! sections, and every operation in it was pending (published, not yet
+//! completed) for the round's whole execution, so ordering the round's ops
+//! `contains → insert → remove` (ties within a kind in publish order,
+//! duplicates resolved first-wins) is a valid linearisation; rounds
+//! themselves are ordered by combiner succession, which respects real time
+//! (an op completed in round *r* was drained before *r* executed, so any op
+//! starting later publishes after the drain and lands in a later round).
+//! [`ConcurrentSet::take_rounds`] exposes the committed order (when
+//! [`Options::log_rounds`] is set) so tests can replay it against a
+//! sequential oracle — `tests/combine_stress.rs` does exactly that.
+//!
+//! # Contract
+//!
+//! Operations must be called from threads *outside* the backing pool: a
+//! pool worker blocking as a client could leave the combiner's own
+//! `install` without a worker to run on.  The service pattern — client
+//! threads in front, the pool as compute backend — satisfies this
+//! naturally.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! let pool = forkjoin::Pool::new(2).expect("pool");
+//! let backing = pbist::IstSet::from_unsorted((0..1000u64).collect());
+//! let set = Arc::new(combine::ConcurrentSet::new(backing, pool));
+//!
+//! let handles: Vec<_> = (0..4u64)
+//!     .map(|t| {
+//!         let set = Arc::clone(&set);
+//!         std::thread::spawn(move || {
+//!             assert!(set.contains(&t));          // 0..1000 pre-loaded
+//!             set.insert(10_000 + t);             // distinct new keys
+//!             assert!(!set.remove(&(20_000 + t))) // never present
+//!         })
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     h.join().unwrap();
+//! }
+//! assert_eq!(set.len(), 1004);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::cell::UnsafeCell;
+use std::mem;
+use std::ptr;
+use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use batchapi::{Batch, BatchedSet};
+use forkjoin::Pool;
+
+/// Iterations of the pure spin phase before a waiting client starts
+/// yielding.  Kept short: the combiner usually finishes small rounds fast,
+/// and on few-core machines long spins just steal its CPU.
+const SPIN_LIMIT: u32 = 64;
+
+/// Yields after the spin phase before falling back to the condvar.
+const YIELD_LIMIT: u32 = 16;
+
+/// What a single client operation does to the set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Add a key; the result is `true` iff it was newly inserted.
+    Insert,
+    /// Remove a key; the result is `true` iff it was present.
+    Remove,
+    /// Membership test; the result is `true` iff the key is present.
+    Contains,
+}
+
+/// One operation slot, embedded on the issuing client's stack.
+///
+/// Published by pointer into the ingress list; the client guarantees the
+/// slot stays pinned until `done` is set, and the combiner guarantees it
+/// never touches the slot after setting `done`.
+struct OpSlot<K> {
+    /// Ingress linkage, written before the publishing CAS.
+    next: AtomicPtr<OpSlot<K>>,
+    kind: OpKind,
+    key: K,
+    /// Written by the combiner strictly before the `done` store.
+    result: UnsafeCell<bool>,
+    /// Completion flag: `Release` store by the combiner (its last touch of
+    /// the slot), `Acquire` load by the owning client.
+    done: AtomicBool,
+}
+
+/// One operation as committed by a combining round, for the round log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundOp<K> {
+    /// What the operation did.
+    pub kind: OpKind,
+    /// The key it applied to.
+    pub key: K,
+    /// The result handed back to the issuing client.
+    pub result: bool,
+}
+
+/// One committed combining round: its operations in linearisation order
+/// (`Contains` ops first, then `Insert`, then `Remove`; publish order within
+/// each kind).  Replaying rounds in commit order against a sequential set
+/// must reproduce every `result` — the stress suite's oracle check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Round<K> {
+    /// The committed operations, in linearisation order.
+    pub ops: Vec<RoundOp<K>>,
+}
+
+/// Construction-time knobs for [`ConcurrentSet`].
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Rounds with at least this many operations execute inside the
+    /// fork-join pool; smaller rounds run inline on the combiner thread
+    /// (the batched ops degrade to their sequential paths, which beats
+    /// paying a pool round-trip for a handful of keys).  `0` forces every
+    /// round through the pool; `usize::MAX` keeps everything inline.
+    pub pool_cutoff: usize,
+    /// Record every committed round for [`ConcurrentSet::take_rounds`].
+    /// Off by default: the log clones every key and grows without bound,
+    /// so it is strictly a testing/debugging facility.
+    pub log_rounds: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            pool_cutoff: 512,
+            log_rounds: false,
+        }
+    }
+}
+
+/// Counters describing the combining behaviour so far (monotone,
+/// `Relaxed`; exact only once the set is quiescent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stats {
+    /// Combining rounds committed.
+    pub rounds: u64,
+    /// Operations completed across all rounds.
+    pub ops: u64,
+    /// Rounds large enough to execute inside the pool.
+    pub pooled_rounds: u64,
+}
+
+/// Per-kind scratch for the round being combined.  Only the combiner (the
+/// thread holding the `combiner` flag) touches this; buffers are reused
+/// across rounds so a steady-state round allocates nothing.
+struct Lane<K> {
+    /// Drained slots of this kind, in publish order.
+    slots: Vec<*const OpSlot<K>>,
+    /// Reusable key buffer; round-trips through [`Batch::into_vec`].
+    keys: Vec<K>,
+    /// Reusable per-key flag buffer for the `_report` batch variants.
+    flags: Vec<bool>,
+}
+
+impl<K> Lane<K> {
+    fn new() -> Lane<K> {
+        Lane {
+            slots: Vec::new(),
+            keys: Vec::new(),
+            flags: Vec::new(),
+        }
+    }
+}
+
+/// Combiner-only scratch state (guarded by the `combiner` flag).
+struct Scratch<K> {
+    contains: Lane<K>,
+    insert: Lane<K>,
+    remove: Lane<K>,
+    /// Tracks which batch keys have already been claimed by an earlier
+    /// duplicate op while distributing insert/remove results.
+    claimed: Vec<bool>,
+}
+
+/// A concurrent ordered set serving per-operation traffic from any number
+/// of client threads by flat-combining it into batches for a
+/// [`BatchedSet`] backend.
+///
+/// See the [module docs](self) for the protocol and its memory-ordering
+/// contract.  Shared by reference (typically `Arc`); all operations take
+/// `&self`.
+///
+/// # Poisoning
+///
+/// If a backend batch operation panics while a combiner executes a round,
+/// the set's state — and the results of every operation drained into that
+/// round — are indeterminate.  The front-end then behaves like a poisoned
+/// `Mutex`: the panic propagates on the combining thread, clients whose
+/// operations were in that round panic instead of blocking forever, and
+/// every subsequent operation panics immediately.
+pub struct ConcurrentSet<K, S> {
+    /// Head of the Treiber-stack ingress list of published op slots.
+    ingress: AtomicPtr<OpSlot<K>>,
+    /// The combiner flag: held (`true`) by at most one thread, which has
+    /// exclusive access to `set`, `scratch` and the log tail.
+    combiner: AtomicBool,
+    /// The backing batched set.  Touched only while holding `combiner`.
+    set: UnsafeCell<S>,
+    /// Reused round buffers.  Touched only while holding `combiner`.
+    scratch: UnsafeCell<Scratch<K>>,
+    /// Fork-join pool executing rounds of at least `pool_cutoff` ops.
+    pool: Pool,
+    /// See [`Options::pool_cutoff`].
+    pool_cutoff: usize,
+    /// Committed-round log, present when [`Options::log_rounds`] was set.
+    /// Appended only by the combiner; the mutex serialises appends against
+    /// concurrent [`ConcurrentSet::take_rounds`] drains.
+    log: Option<Mutex<Vec<Round<K>>>>,
+    /// Guards `progress` (never the data — that is what `combiner` is for).
+    sleep_mutex: Mutex<()>,
+    /// Signalled after every round commit and combiner unlock.
+    progress: Condvar,
+    /// Clients currently blocked on `progress`.
+    sleepers: AtomicUsize,
+    /// Set when a combiner panicked mid-round (a backend batch op threw):
+    /// the backing set's state — and the results of any op drained into
+    /// that round — are indeterminate, so every subsequent operation
+    /// panics instead of blocking forever.  Mutex-poisoning semantics.
+    poisoned: AtomicBool,
+    stat_rounds: AtomicU64,
+    stat_ops: AtomicU64,
+    stat_pooled: AtomicU64,
+}
+
+/// Releases the combiner flag (and wakes waiters) on every exit from a
+/// combining critical section — **including unwinds**.  A panic while
+/// combining marks the front-end poisoned before the flag is released, so
+/// woken waiters observe the poison rather than re-electing themselves
+/// onto a half-mutated set (or hanging on slots whose `done` will never
+/// come).
+struct CombinerGuard<'a, K, S> {
+    set: &'a ConcurrentSet<K, S>,
+}
+
+impl<K, S> Drop for CombinerGuard<'_, K, S> {
+    fn drop(&mut self) {
+        let poisoning = std::thread::panicking();
+        if poisoning {
+            // SeqCst so the unlock below can never be observed before the
+            // poison by a waiter's fenced re-check.
+            self.set.poisoned.store(true, Ordering::SeqCst);
+        }
+        self.set.combiner.store(false, Ordering::Release);
+        // Producer half of the Dekker handshake (see module docs): fence,
+        // then look for registered sleepers.  The common no-sleeper case is
+        // one fence and one load.  On poison, always notify: blocked
+        // clients must wake to observe it.
+        fence(Ordering::SeqCst);
+        if poisoning || self.set.sleepers.load(Ordering::Relaxed) > 0 {
+            let _guard = self.set.sleep_mutex.lock().unwrap();
+            self.set.progress.notify_all();
+        }
+    }
+}
+
+// SAFETY: `ConcurrentSet` is a Mutex-like container.  `set`, `scratch` and
+// the log tail are accessed only by the thread holding the `combiner` flag
+// (Acquire/Release on that flag sequences successive combiners), so they
+// need `Send` but not `Sync`.  The ingress list holds pointers to `OpSlot`s
+// pinned on client stacks; the publish CAS (Release) / drain swap (Acquire)
+// pair transfers them to the combiner, which reads `key` by shared
+// reference from another thread — hence `K: Sync` — and hands them back
+// through the `done` Release/Acquire pair, after which only the owning
+// client touches them.
+unsafe impl<K: Send + Sync, S: Send> Sync for ConcurrentSet<K, S> {}
+unsafe impl<K: Send, S: Send> Send for ConcurrentSet<K, S> {}
+
+impl<K, S> ConcurrentSet<K, S>
+where
+    K: Ord + Clone + Send + Sync,
+    S: BatchedSet<K> + Send,
+{
+    /// Wraps `set` behind a flat-combining front-end with default
+    /// [`Options`], executing large rounds on `pool`.
+    pub fn new(set: S, pool: Pool) -> ConcurrentSet<K, S> {
+        ConcurrentSet::with_options(set, pool, Options::default())
+    }
+
+    /// Wraps `set` with explicit [`Options`].
+    pub fn with_options(set: S, pool: Pool, options: Options) -> ConcurrentSet<K, S> {
+        ConcurrentSet {
+            ingress: AtomicPtr::new(ptr::null_mut()),
+            combiner: AtomicBool::new(false),
+            set: UnsafeCell::new(set),
+            scratch: UnsafeCell::new(Scratch {
+                contains: Lane::new(),
+                insert: Lane::new(),
+                remove: Lane::new(),
+                claimed: Vec::new(),
+            }),
+            pool,
+            pool_cutoff: options.pool_cutoff,
+            log: options.log_rounds.then(|| Mutex::new(Vec::new())),
+            sleep_mutex: Mutex::new(()),
+            progress: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            stat_rounds: AtomicU64::new(0),
+            stat_ops: AtomicU64::new(0),
+            stat_pooled: AtomicU64::new(0),
+        }
+    }
+
+    /// Inserts `key`, returning `true` iff it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the front-end is [poisoned](ConcurrentSet#poisoning)
+    /// (same for [`remove`](ConcurrentSet::remove),
+    /// [`contains`](ConcurrentSet::contains) and
+    /// [`len`](ConcurrentSet::len)).
+    pub fn insert(&self, key: K) -> bool {
+        match self.try_fast_op(OpKind::Insert, &key) {
+            Some(result) => result,
+            None => self.run_op_published(OpKind::Insert, key),
+        }
+    }
+
+    /// Removes `key`, returning `true` iff it was present.
+    pub fn remove(&self, key: &K) -> bool {
+        match self.try_fast_op(OpKind::Remove, key) {
+            Some(result) => result,
+            None => self.run_op_published(OpKind::Remove, key.clone()),
+        }
+    }
+
+    /// Returns `true` iff `key` is in the set.
+    pub fn contains(&self, key: &K) -> bool {
+        match self.try_fast_op(OpKind::Contains, key) {
+            Some(result) => result,
+            None => self.run_op_published(OpKind::Contains, key.clone()),
+        }
+    }
+
+    /// Number of keys in the set.
+    ///
+    /// Linearises as a combining round of its own: pending published
+    /// operations are flushed first, then the backing set is read under
+    /// the combiner flag.
+    pub fn len(&self) -> usize {
+        loop {
+            self.check_poisoned();
+            if self.lock_combiner() {
+                let _unlock = CombinerGuard { set: self };
+                // Post-CAS re-check, as in `try_fast_op`.
+                self.check_poisoned();
+                self.combine_round();
+                // SAFETY: we hold the combiner flag, the only licence to
+                // touch `set`.
+                return unsafe { &*self.set.get() }.len();
+            }
+            self.wait_until(|| {
+                !self.combiner.load(Ordering::Acquire) || self.poisoned.load(Ordering::Acquire)
+            });
+        }
+    }
+
+    /// Returns `true` when the set holds no keys.  Same linearisation as
+    /// [`ConcurrentSet::len`].
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the combining counters.
+    pub fn stats(&self) -> Stats {
+        Stats {
+            rounds: self.stat_rounds.load(Ordering::Relaxed),
+            ops: self.stat_ops.load(Ordering::Relaxed),
+            pooled_rounds: self.stat_pooled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drains the committed-round log (empty unless built with
+    /// [`Options::log_rounds`]).  Rounds are in commit order; replaying
+    /// them sequentially reproduces every client-observed result.
+    pub fn take_rounds(&self) -> Vec<Round<K>> {
+        match &self.log {
+            Some(log) => mem::take(&mut *log.lock().unwrap()),
+            None => Vec::new(),
+        }
+    }
+
+    /// Consumes the front-end, returning the backing set (and shutting the
+    /// pool down).  Owning `self` proves no operation is in flight, so no
+    /// published slot can be pending.
+    pub fn into_inner(self) -> S {
+        debug_assert!(self.ingress.load(Ordering::Relaxed).is_null());
+        self.set.into_inner()
+    }
+
+    /// The uncontended fast path: if nobody is combining, become the
+    /// combiner *without* publishing a slot — flush whatever is already
+    /// published (ops pending longer than ours must not be starved, and
+    /// linearising them first keeps the log order honest), then run our
+    /// own op directly against the backend's point path.  No slot, no
+    /// `done` handshake, no key clone; under no contention the front-end
+    /// costs one CAS + one load over a plain mutex.
+    ///
+    /// Returns `None` when the path does not apply — the combiner flag is
+    /// taken, or the cutoff demands pooled rounds (`pool_cutoff <= 1`,
+    /// which routes every op through the batch machinery) — and the caller
+    /// must fall back to [`ConcurrentSet::run_op_published`].
+    fn try_fast_op(&self, kind: OpKind, key: &K) -> Option<bool> {
+        self.check_poisoned();
+        if self.pool_cutoff <= 1 || !self.lock_combiner() {
+            return None;
+        }
+        let _unlock = CombinerGuard { set: self };
+        // Re-check *after* winning the flag: the pre-CAS check races a
+        // poisoning combiner's release, and proceeding here would both
+        // combine on the half-mutated set and dereference slots abandoned
+        // by clients that already panicked out.  The Acquire CAS pairs
+        // with the poisoner's Release unlock, which its poison store
+        // preceded, so this load cannot miss the poison.
+        self.check_poisoned();
+        // A plain load dodges the swap's locked RMW in the common empty
+        // case.  Missing a racing publish is harmless: its publisher
+        // observes our unlock (spin recheck or the Dekker handshake)
+        // and elects itself next.
+        if !self.ingress.load(Ordering::Acquire).is_null() {
+            self.combine_round();
+        }
+        Some(self.run_point_op(kind, key))
+    }
+
+    /// Executes one operation directly against the backend's point path,
+    /// logging it as a round of its own and counting it.  Caller must hold
+    /// the combiner flag.
+    fn run_point_op(&self, kind: OpKind, key: &K) -> bool {
+        // SAFETY: the caller holds the combiner flag — exclusive set access.
+        let set = unsafe { &mut *self.set.get() };
+        let result = match kind {
+            OpKind::Insert => set.insert_one(key),
+            OpKind::Remove => set.remove_one(key),
+            OpKind::Contains => set.contains(key),
+        };
+        if let Some(log) = &self.log {
+            log.lock().unwrap().push(Round {
+                ops: vec![RoundOp {
+                    kind,
+                    key: key.clone(),
+                    result,
+                }],
+            });
+        }
+        self.bump_stats(1, false);
+        result
+    }
+
+    /// The contended path: publishes a slot, then combines or waits until
+    /// the op completes.
+    fn run_op_published(&self, kind: OpKind, key: K) -> bool {
+        let slot = OpSlot {
+            next: AtomicPtr::new(ptr::null_mut()),
+            kind,
+            key,
+            result: UnsafeCell::new(false),
+            done: AtomicBool::new(false),
+        };
+        // Pinned from here on: `slot` must not move until `done` is set.
+        let slot_ptr = &slot as *const OpSlot<K> as *mut OpSlot<K>;
+        let mut head = self.ingress.load(Ordering::Relaxed);
+        loop {
+            slot.next.store(head, Ordering::Relaxed);
+            // Release publishes the slot's fields (kind/key/next) to the
+            // combiner's Acquire drain-swap.  A successful CAS against a
+            // re-seen head value is still correct (push-only ABA): whatever
+            // lives at that address now is a live published slot, and our
+            // `next` points at it.
+            match self.ingress.compare_exchange_weak(
+                head,
+                slot_ptr,
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(current) => head = current,
+            }
+        }
+        loop {
+            if slot.done.load(Ordering::Acquire) {
+                break;
+            }
+            // A poisoned front-end will never complete our slot; panicking
+            // here (rather than blocking forever) also means the slot's
+            // memory is abandoned exactly like every other poisoned path —
+            // nothing dereferences it again, because every entry point
+            // panics before touching the ingress list.
+            self.check_poisoned();
+            if self.try_combine() {
+                continue; // a round committed; our op may be done now
+            }
+            // Someone else holds the combiner flag; they will either drain
+            // our op or wake us when they release.
+            self.wait_until(|| {
+                slot.done.load(Ordering::Acquire)
+                    || !self.combiner.load(Ordering::Acquire)
+                    || self.poisoned.load(Ordering::Acquire)
+            });
+        }
+        // SAFETY: `done` was set (Acquire above) after the combiner's final
+        // write of `result`, and the combiner no longer touches the slot.
+        unsafe { *slot.result.get() }
+    }
+
+    /// Attempts to become the combiner; on success runs one round, unlocks
+    /// and wakes waiters.  Returns whether a round was run.
+    fn try_combine(&self) -> bool {
+        if !self.lock_combiner() {
+            return false;
+        }
+        let _unlock = CombinerGuard { set: self };
+        // Same post-CAS re-check as `try_fast_op`: never drain after a
+        // poisoning release.
+        self.check_poisoned();
+        self.combine_round();
+        true
+    }
+
+    fn lock_combiner(&self) -> bool {
+        // Acquire pairs with the Release unlock of the previous combiner,
+        // carrying the backing set's state to this thread.
+        self.combiner
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Panics if a combiner panicked mid-round (see the struct docs'
+    /// poisoning section).
+    fn check_poisoned(&self) {
+        if self.poisoned.load(Ordering::Acquire) {
+            panic!(
+                "ConcurrentSet is poisoned: a combiner panicked mid-round, \
+                 so the backing set's state is indeterminate"
+            );
+        }
+    }
+
+    /// Spin, then yield, then sleep until `ready` holds.  Sleeper half of
+    /// the Dekker handshake: register, fence, re-check, and only then wait,
+    /// so a concurrent round commit or unlock cannot be slept through.
+    fn wait_until(&self, mut ready: impl FnMut() -> bool) {
+        for _ in 0..SPIN_LIMIT {
+            if ready() {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        for _ in 0..YIELD_LIMIT {
+            if ready() {
+                return;
+            }
+            std::thread::yield_now();
+        }
+        let mut guard = self.sleep_mutex.lock().unwrap();
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        while !ready() {
+            guard = self.progress.wait(guard).unwrap();
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Runs one combining round.  Caller must hold the combiner flag.
+    fn combine_round(&self) {
+        // Claim everything published so far.  Acquire pairs with the
+        // publishers' Release CASes, making the slots' fields visible.
+        let drained = self.ingress.swap(ptr::null_mut(), Ordering::Acquire);
+        if drained.is_null() {
+            return;
+        }
+        // Single-op round (the common case whenever clients do not outnumber
+        // actual hardware concurrency): skip the batch machinery entirely
+        // and hit the backend's point path.  Only when the cutoff would not
+        // send a one-op round through the pool — `pool_cutoff <= 1` keeps
+        // its documented "everything pooled" meaning.
+        // SAFETY: the slot stays pinned until its `done` store below.
+        if self.pool_cutoff > 1 && unsafe { (*drained).next.load(Ordering::Relaxed) }.is_null() {
+            let slot = unsafe { &*drained };
+            let result = self.run_point_op(slot.kind, &slot.key);
+            // SAFETY: combiner-exclusive until the `done` store, which is
+            // the last touch (Release publishes the result write).
+            unsafe {
+                *slot.result.get() = result;
+                slot.done.store(true, Ordering::Release);
+            }
+            return;
+        }
+        // SAFETY: combiner flag held — exclusive access to the scratch.
+        let scratch = unsafe { &mut *self.scratch.get() };
+        let Scratch {
+            contains: con,
+            insert: ins,
+            remove: rem,
+            claimed,
+        } = scratch;
+
+        // Split by kind.  The Treiber stack yields newest-first; pushing
+        // onto the lanes and reversing restores publish order.
+        let mut total: u64 = 0;
+        let mut cursor = drained;
+        while !cursor.is_null() {
+            // SAFETY: every published slot stays pinned until its `done`
+            // flag is set, which this round has not done yet.
+            let slot = unsafe { &*cursor };
+            cursor = slot.next.load(Ordering::Relaxed);
+            let lane = match slot.kind {
+                OpKind::Contains => &mut *con,
+                OpKind::Insert => &mut *ins,
+                OpKind::Remove => &mut *rem,
+            };
+            lane.slots.push(slot);
+            total += 1;
+        }
+        for lane in [&mut *con, &mut *ins, &mut *rem] {
+            lane.slots.reverse();
+            lane.keys.clear();
+            // SAFETY: slots stay pinned (as above); `key` is read by shared
+            // reference, which `K: Sync` licences across threads.
+            lane.keys
+                .extend(lane.slots.iter().map(|&s| unsafe { (*s).key.clone() }));
+        }
+
+        // One sorted batch per kind; the key buffers come back via
+        // `into_vec` below, so steady-state rounds do not allocate.
+        let con_batch = Batch::from_unsorted(mem::take(&mut con.keys));
+        let ins_batch = Batch::from_unsorted(mem::take(&mut ins.keys));
+        let rem_batch = Batch::from_unsorted(mem::take(&mut rem.keys));
+
+        // Execute in linearisation order: contains, insert, remove.
+        // SAFETY: combiner flag held — exclusive access to the set.
+        let set = unsafe { &mut *self.set.get() };
+        let (con_flags, ins_flags, rem_flags) = (&mut con.flags, &mut ins.flags, &mut rem.flags);
+        let mut run = |set: &mut S| {
+            if !con_batch.is_empty() {
+                set.batch_contains_report(&con_batch, con_flags);
+            }
+            if !ins_batch.is_empty() {
+                set.batch_insert_report(&ins_batch, ins_flags);
+            }
+            if !rem_batch.is_empty() {
+                set.batch_remove_report(&rem_batch, rem_flags);
+            }
+        };
+        let pooled = (total as usize) >= self.pool_cutoff;
+        if pooled {
+            self.pool.install(|| run(set));
+        } else {
+            run(set);
+        }
+
+        // Fan per-key flags back out to per-op results, logging the
+        // linearised round if asked to.
+        let mut logged = self
+            .log
+            .as_ref()
+            .map(|_| Vec::with_capacity(total as usize));
+        distribute(
+            &con.slots,
+            &con_batch,
+            &con.flags,
+            claimed,
+            false,
+            &mut logged,
+        );
+        distribute(
+            &ins.slots,
+            &ins_batch,
+            &ins.flags,
+            claimed,
+            true,
+            &mut logged,
+        );
+        distribute(
+            &rem.slots,
+            &rem_batch,
+            &rem.flags,
+            claimed,
+            true,
+            &mut logged,
+        );
+
+        // Log the round *before* releasing any client: once a `done` flag
+        // is stored its client may return and immediately `take_rounds`,
+        // which must already contain every round whose results have been
+        // observed.
+        if let (Some(log), Some(round)) = (&self.log, logged) {
+            log.lock().unwrap().push(Round { ops: round });
+        }
+
+        // Completion: after each `done` store the owning client may pop the
+        // slot off its stack, so this loop is the combiner's last touch.
+        for lane in [&mut *con, &mut *ins, &mut *rem] {
+            for &slot in &lane.slots {
+                // SAFETY: Release publishes the result write above; the
+                // slot is not accessed afterwards.
+                unsafe { (*slot).done.store(true, Ordering::Release) };
+            }
+            lane.slots.clear();
+        }
+
+        // Reclaim the key buffers for the next round.
+        con.keys = con_batch.into_vec();
+        ins.keys = ins_batch.into_vec();
+        rem.keys = rem_batch.into_vec();
+
+        self.bump_stats(total, pooled);
+    }
+
+    /// Advances the counters.  Combiner-only, so plain load+store beats an
+    /// atomic RMW; concurrent `stats()` readers may see a round's counters
+    /// mid-update, which the `Stats` contract (exact when quiescent) allows.
+    fn bump_stats(&self, ops: u64, pooled: bool) {
+        let rounds = self.stat_rounds.load(Ordering::Relaxed);
+        self.stat_rounds.store(rounds + 1, Ordering::Relaxed);
+        let total = self.stat_ops.load(Ordering::Relaxed);
+        self.stat_ops.store(total + ops, Ordering::Relaxed);
+        if pooled {
+            let p = self.stat_pooled.load(Ordering::Relaxed);
+            self.stat_pooled.store(p + 1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Writes one lane's per-op results from its batch's per-key flags.
+///
+/// `consume` is set for insert/remove lanes, where duplicated keys resolve
+/// sequentially: the first op on a key gets the batch flag, later
+/// duplicates observe the first one's effect (insert after insert → already
+/// present; remove after remove → already gone), exactly as the replayed
+/// linearisation does.
+fn distribute<K: Ord + Clone>(
+    slots: &[*const OpSlot<K>],
+    batch: &Batch<K>,
+    flags: &[bool],
+    claimed: &mut Vec<bool>,
+    consume: bool,
+    logged: &mut Option<Vec<RoundOp<K>>>,
+) {
+    claimed.clear();
+    claimed.resize(batch.len(), false);
+    for &ptr in slots {
+        // SAFETY: slots stay pinned until their `done` store, which happens
+        // after all `distribute` calls of the round.
+        let slot = unsafe { &*ptr };
+        let idx = batch
+            .binary_search(&slot.key)
+            .expect("round batch is built from exactly these op keys");
+        let result = if consume {
+            let first = !claimed[idx];
+            claimed[idx] = true;
+            first && flags[idx]
+        } else {
+            flags[idx]
+        };
+        // SAFETY: combiner-exclusive until `done` is set; the owning client
+        // reads `result` only after its Acquire load of `done`.
+        unsafe { *slot.result.get() = result };
+        if let Some(log) = logged {
+            log.push(RoundOp {
+                kind: slot.kind,
+                key: slot.key.clone(),
+                result,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    /// A sequential reference backend: a sorted Vec driven through the
+    /// default (allocating) trait paths.
+    struct VecSet(Vec<u64>);
+
+    impl BatchedSet<u64> for VecSet {
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn contains(&self, key: &u64) -> bool {
+            self.0.binary_search(key).is_ok()
+        }
+        fn rank(&self, key: &u64) -> usize {
+            self.0.partition_point(|k| k < key)
+        }
+        fn min(&self) -> Option<&u64> {
+            self.0.first()
+        }
+        fn max(&self) -> Option<&u64> {
+            self.0.last()
+        }
+        fn batch_contains(&self, batch: &Batch<u64>) -> Vec<bool> {
+            batch.iter().map(|q| self.contains(q)).collect()
+        }
+        fn batch_insert(&mut self, batch: &Batch<u64>) -> Vec<bool> {
+            let flags: Vec<bool> = batch.iter().map(|q| !self.contains(q)).collect();
+            self.0.extend(
+                batch
+                    .iter()
+                    .zip(&flags)
+                    .filter(|(_, &f)| f)
+                    .map(|(q, _)| *q),
+            );
+            self.0.sort_unstable();
+            flags
+        }
+        fn batch_remove(&mut self, batch: &Batch<u64>) -> Vec<bool> {
+            let flags: Vec<bool> = batch.iter().map(|q| self.contains(q)).collect();
+            self.0.retain(|k| batch.binary_search(k).is_err());
+            flags
+        }
+    }
+
+    fn fresh(log: bool) -> ConcurrentSet<u64, VecSet> {
+        ConcurrentSet::with_options(
+            VecSet(Vec::new()),
+            Pool::new(1).unwrap(),
+            Options {
+                pool_cutoff: 4,
+                log_rounds: log,
+            },
+        )
+    }
+
+    #[test]
+    fn sequential_ops_have_set_semantics() {
+        let set = fresh(false);
+        assert!(set.insert(5));
+        assert!(!set.insert(5));
+        assert!(set.insert(9));
+        assert!(set.contains(&5));
+        assert!(!set.contains(&6));
+        assert_eq!(set.len(), 2);
+        assert!(set.remove(&5));
+        assert!(!set.remove(&5));
+        assert!(!set.is_empty());
+        assert_eq!(set.into_inner().0, vec![9]);
+    }
+
+    #[test]
+    fn round_log_records_sequential_history() {
+        let set = fresh(true);
+        assert!(set.insert(1));
+        assert!(set.contains(&1));
+        assert!(set.remove(&1));
+        let rounds = set.take_rounds();
+        // Sequential clients combine themselves: one op per round.
+        assert_eq!(rounds.len(), 3);
+        let flat: Vec<RoundOp<u64>> = rounds.into_iter().flat_map(|r| r.ops).collect();
+        assert_eq!(
+            flat,
+            vec![
+                RoundOp {
+                    kind: OpKind::Insert,
+                    key: 1,
+                    result: true
+                },
+                RoundOp {
+                    kind: OpKind::Contains,
+                    key: 1,
+                    result: true
+                },
+                RoundOp {
+                    kind: OpKind::Remove,
+                    key: 1,
+                    result: true
+                },
+            ]
+        );
+        // The log drains.
+        assert!(set.take_rounds().is_empty());
+        assert_eq!(set.stats().rounds, 3);
+        assert_eq!(set.stats().ops, 3);
+    }
+
+    #[test]
+    fn stats_count_pooled_rounds() {
+        // pool_cutoff 4 and single-op rounds: nothing goes through the pool.
+        let set = fresh(false);
+        for k in 0..10 {
+            set.insert(k);
+        }
+        let stats = set.stats();
+        assert_eq!(stats.ops, 10);
+        assert_eq!(stats.pooled_rounds, 0);
+
+        // pool_cutoff 0: every round is a pool round.
+        let pooled = ConcurrentSet::with_options(
+            VecSet(Vec::new()),
+            Pool::new(1).unwrap(),
+            Options {
+                pool_cutoff: 0,
+                log_rounds: false,
+            },
+        );
+        pooled.insert(1);
+        pooled.insert(2);
+        assert_eq!(pooled.stats().pooled_rounds, pooled.stats().rounds);
+    }
+
+    /// A backend that panics when asked to insert a magic key.
+    struct BombSet(VecSet);
+
+    impl BatchedSet<u64> for BombSet {
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn contains(&self, key: &u64) -> bool {
+            self.0.contains(key)
+        }
+        fn rank(&self, key: &u64) -> usize {
+            self.0.rank(key)
+        }
+        fn min(&self) -> Option<&u64> {
+            self.0.min()
+        }
+        fn max(&self) -> Option<&u64> {
+            self.0.max()
+        }
+        fn batch_contains(&self, batch: &Batch<u64>) -> Vec<bool> {
+            self.0.batch_contains(batch)
+        }
+        fn batch_insert(&mut self, batch: &Batch<u64>) -> Vec<bool> {
+            assert!(!batch.contains(&u64::MAX), "bomb");
+            self.0.batch_insert(batch)
+        }
+        fn batch_remove(&mut self, batch: &Batch<u64>) -> Vec<bool> {
+            self.0.batch_remove(batch)
+        }
+    }
+
+    #[test]
+    fn backend_panic_poisons_instead_of_wedging() {
+        // pool_cutoff 0 forces the batch path, whose `batch_insert` bombs.
+        let set = ConcurrentSet::with_options(
+            BombSet(VecSet(Vec::new())),
+            Pool::new(1).unwrap(),
+            Options {
+                pool_cutoff: 0,
+                log_rounds: false,
+            },
+        );
+        assert!(set.insert(1));
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            set.insert(u64::MAX);
+        }));
+        assert!(boom.is_err());
+        // Subsequent operations fail fast with the poison message rather
+        // than deadlocking on a combiner flag that never clears.
+        let after = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            set.contains(&1);
+        }));
+        let payload = after.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().expect("str payload");
+        assert!(msg.contains("poisoned"), "{msg}");
+        let len_call = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| set.len()));
+        assert!(len_call.is_err());
+    }
+
+    #[test]
+    fn concurrent_clients_agree_with_oracle_replay() {
+        let set = Arc::new(fresh(true));
+        let threads = 4;
+        let per_thread = 300u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let set = Arc::clone(&set);
+                std::thread::spawn(move || {
+                    // Overlapping key ranges force result races on purpose.
+                    for i in 0..per_thread {
+                        let k = (t * 7 + i) % 50;
+                        match i % 3 {
+                            0 => set.insert(k),
+                            1 => set.remove(&k),
+                            _ => set.contains(&k),
+                        };
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let rounds = set.take_rounds();
+        let total_ops: usize = rounds.iter().map(|r| r.ops.len()).sum();
+        assert_eq!(total_ops as u64, threads * per_thread);
+        // Replaying the committed rounds sequentially must reproduce every
+        // per-op result.
+        let mut oracle = BTreeSet::new();
+        for (r, round) in rounds.iter().enumerate() {
+            for op in &round.ops {
+                let expect = match op.kind {
+                    OpKind::Insert => oracle.insert(op.key),
+                    OpKind::Remove => oracle.remove(&op.key),
+                    OpKind::Contains => oracle.contains(&op.key),
+                };
+                assert_eq!(op.result, expect, "round {r}, op {op:?}");
+            }
+        }
+        let final_keys: Vec<u64> = oracle.into_iter().collect();
+        let backing = Arc::try_unwrap(set).ok().unwrap().into_inner();
+        assert_eq!(backing.0, final_keys);
+    }
+}

@@ -37,10 +37,13 @@ impl_interpolate_for_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 /// recursion.
 pub const LEAF_CAPACITY: usize = 1024;
 
-/// Maximum children of one inner node.  The ideal IST fanout is `Θ(√n)`;
-/// capping it bounds per-node router scans while keeping depth `O(log log n)`
-/// in the sizes this reproduction currently targets.
-pub const MAX_FANOUT: usize = 64;
+/// Maximum children of one inner node.  The ideal IST fanout is `Θ(√n)` —
+/// the cap only bounds worst-case router-array sizes (and with it the cost
+/// of the corrective binary search when an interpolation guess misses).
+/// 256 keeps a 100k-key tree at depth two (root plus leaves), which point
+/// descents feel directly; interpolation makes the wider router arrays
+/// nearly free to search.
+pub const MAX_FANOUT: usize = 256;
 
 /// A subtree: either a sorted leaf array or an inner routing node.
 #[derive(Debug, Clone)]

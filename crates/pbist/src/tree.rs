@@ -167,14 +167,49 @@ impl<K: InterpolateKey + Clone + Send + Sync> BatchedSet<K> for IstSet<K> {
     }
 
     fn batch_contains(&self, batch: &Batch<K>) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.batch_contains_report(batch, &mut out);
+        out
+    }
+
+    fn batch_insert(&mut self, batch: &Batch<K>) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.batch_insert_report(batch, &mut out);
+        out
+    }
+
+    fn batch_remove(&mut self, batch: &Batch<K>) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.batch_remove_report(batch, &mut out);
+        out
+    }
+
+    // The `_report` variants are the primary implementations: the traversal
+    // and update recursions already write flags into a caller-provided
+    // buffer, so reporting through a reused `Vec` is allocation-free once
+    // the buffer has warmed up (the flat-combining front-end's round loop
+    // depends on this).
+
+    fn batch_contains_report(&self, batch: &Batch<K>, out: &mut Vec<bool>) {
+        out.clear();
         if batch.is_empty() {
-            return Vec::new();
+            return;
         }
         let root = match &self.root {
             Some(root) => root,
-            None => return vec![false; batch.len()],
+            None => {
+                out.resize(batch.len(), false);
+                return;
+            }
         };
-        let mut out = Vec::with_capacity(batch.len());
+        // Tiny batches: point lookups beat the joint traversal's per-node
+        // scratch.  Same answers — a membership batch has no cross-key
+        // interaction at all.
+        if batch.len() <= update::POINT_BATCH_LEN {
+            out.extend(batch.iter().map(|q| self.contains(q)));
+            return;
+        }
+        out.reserve(batch.len());
         traverse::batch_contains_into(
             root,
             batch.as_slice(),
@@ -183,58 +218,97 @@ impl<K: InterpolateKey + Clone + Send + Sync> BatchedSet<K> for IstSet<K> {
         // SAFETY: the traversal writes every one of the first `batch.len()`
         // slots exactly once (children cover disjoint batch segments).
         unsafe { out.set_len(batch.len()) };
-        out
     }
 
-    fn batch_insert(&mut self, batch: &Batch<K>) -> Vec<bool> {
+    fn batch_insert_report(&mut self, batch: &Batch<K>, out: &mut Vec<bool>) {
+        out.clear();
         if batch.is_empty() {
-            return Vec::new();
+            return;
         }
         let root = match &mut self.root {
             Some(root) => root,
             None => {
                 self.root = Some(build(batch.as_slice()));
-                return vec![true; batch.len()];
+                out.resize(batch.len(), true);
+                return;
             }
         };
-        let mut out = Vec::with_capacity(batch.len());
+        // Tiny batches: a loop of in-place point inserts is equivalent to
+        // the batch recursion (sorted distinct keys, applied in order) and
+        // allocation-free.
+        if batch.len() <= update::POINT_BATCH_LEN {
+            out.extend(batch.iter().map(|q| update::insert_one(root, q)));
+            return;
+        }
+        out.reserve(batch.len());
         update::insert_into(
             root,
             batch.as_slice(),
             &mut out.spare_capacity_mut()[..batch.len()],
         );
-        // SAFETY: as in `batch_contains` — every flag slot written once.
+        // SAFETY: as in `batch_contains_report` — every flag slot written once.
         unsafe { out.set_len(batch.len()) };
-        out
     }
 
-    fn batch_remove(&mut self, batch: &Batch<K>) -> Vec<bool> {
+    fn batch_remove_report(&mut self, batch: &Batch<K>, out: &mut Vec<bool>) {
+        out.clear();
         if batch.is_empty() {
-            return Vec::new();
+            return;
         }
         let root = match &mut self.root {
             Some(root) => root,
-            None => return vec![false; batch.len()],
+            None => {
+                out.resize(batch.len(), false);
+                return;
+            }
         };
-        let mut out = Vec::with_capacity(batch.len());
-        update::remove_from(
-            root,
-            batch.as_slice(),
-            &mut out.spare_capacity_mut()[..batch.len()],
-        );
-        // SAFETY: as in `batch_contains` — every flag slot written once.
-        unsafe { out.set_len(batch.len()) };
+        if batch.len() <= update::POINT_BATCH_LEN {
+            out.extend(batch.iter().map(|q| update::remove_one(root, q)));
+        } else {
+            out.reserve(batch.len());
+            update::remove_from(
+                root,
+                batch.as_slice(),
+                &mut out.spare_capacity_mut()[..batch.len()],
+            );
+            // SAFETY: as in `batch_contains_report` — every flag slot
+            // written once.
+            unsafe { out.set_len(batch.len()) };
+        }
         if root.is_empty() {
             self.root = None;
         }
-        out
+    }
+
+    fn insert_one(&mut self, key: &K) -> bool {
+        match &mut self.root {
+            Some(root) => update::insert_one(root, key),
+            None => {
+                self.root = Some(Node::Leaf(LeafNode {
+                    keys: vec![key.clone()],
+                }));
+                true
+            }
+        }
+    }
+
+    fn remove_one(&mut self, key: &K) -> bool {
+        let root = match &mut self.root {
+            Some(root) => root,
+            None => return false,
+        };
+        let removed = update::remove_one(root, key);
+        if root.is_empty() {
+            self.root = None;
+        }
+        removed
     }
 }
 
 /// Picks the child of `inner` whose key range covers `key`: interpolate a
 /// guess, then correct it against the routers (cheap check first, binary
 /// search only when the guess is off).
-fn child_index<K: InterpolateKey>(inner: &InnerNode<K>, key: &K) -> usize {
+pub(crate) fn child_index<K: InterpolateKey>(inner: &InnerNode<K>, key: &K) -> usize {
     let n = inner.children.len();
     let guess = interpolate_slot(key, &inner.min, &inner.max, n);
     let fits_left = guess == 0 || inner.routers[guess - 1] <= *key;
@@ -472,6 +546,92 @@ mod tests {
         let newly = set.batch_insert(&Batch::from_unsorted(vec![7, 3]));
         assert_eq!(newly, vec![true, true]);
         assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn report_variants_match_allocating_ones() {
+        let keys: Vec<u64> = (0..8_000u64).map(|i| i * 2).collect();
+        let mut a = IstSet::from_sorted(keys.clone());
+        let mut b = IstSet::from_sorted(keys);
+        let batch = Batch::from_unsorted((0..3_000u64).map(|i| i * 3).collect());
+        let mut out = vec![true; 3]; // stale contents must be cleared
+
+        a.batch_contains_report(&batch, &mut out);
+        assert_eq!(out, b.batch_contains(&batch));
+        a.batch_insert_report(&batch, &mut out);
+        assert_eq!(out, b.batch_insert(&batch));
+        a.batch_remove_report(&batch, &mut out);
+        assert_eq!(out, b.batch_remove(&batch));
+        assert_eq!(a.len(), b.len());
+        a.check_invariants().unwrap();
+
+        // Empty-set and empty-batch edges of the report paths.
+        let mut empty: IstSet<u64> = IstSet::from_sorted(Vec::new());
+        empty.batch_contains_report(&Batch::from_unsorted(vec![1, 2]), &mut out);
+        assert_eq!(out, vec![false, false]);
+        empty.batch_remove_report(&Batch::from_unsorted(vec![1]), &mut out);
+        assert_eq!(out, vec![false]);
+        empty.batch_insert_report(&Batch::from_unsorted(vec![4, 9]), &mut out);
+        assert_eq!(out, vec![true, true]);
+        empty.batch_insert_report(&Batch::empty(), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(empty.len(), 2);
+    }
+
+    #[test]
+    fn point_path_matches_oracle_with_invariants() {
+        // Batches at or below POINT_BATCH_LEN take the in-place point path;
+        // hammer it with colliding singletons against a BTreeSet oracle,
+        // auditing the shape after every op.  The narrow key range makes
+        // removals hit child minima (router rewrites) and empty out leaves
+        // (pruning/hoisting) constantly.
+        use std::collections::BTreeSet;
+        let mut set = IstSet::from_unsorted((0..6_000u64).map(|i| i * 3 % 5_000).collect());
+        let mut oracle: BTreeSet<u64> = (0..6_000u64).map(|i| i * 3 % 5_000).collect();
+        let mut state = 0xD1CEu64;
+        for step in 0..6_000 {
+            // SplitMix64 step, inlined to keep this crate dependency-free.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let key = z % 5_000;
+            let batch = Batch::from_unsorted(vec![key]);
+            let mut out = Vec::new();
+            match z >> 32 & 3 {
+                // Remove-leaning so the tree shrinks through rebuilds.
+                0 => {
+                    set.batch_insert_report(&batch, &mut out);
+                    assert_eq!(out, vec![oracle.insert(key)], "step {step}, key {key}");
+                }
+                1 | 2 => {
+                    set.batch_remove_report(&batch, &mut out);
+                    assert_eq!(out, vec![oracle.remove(&key)], "step {step}, key {key}");
+                }
+                _ => {
+                    set.batch_contains_report(&batch, &mut out);
+                    assert_eq!(out, vec![oracle.contains(&key)], "step {step}, key {key}");
+                }
+            }
+            assert_eq!(set.len(), oracle.len(), "step {step}");
+            set.check_invariants()
+                .unwrap_or_else(|e| panic!("step {step}, key {key}: {e}"));
+        }
+        // Drain everything through the trait's point mutators: exercises
+        // root collapse and the `insert_one`/`remove_one` overrides.
+        for key in oracle.clone() {
+            assert!(set.remove_one(&key));
+            assert!(!set.remove_one(&key));
+            set.check_invariants().unwrap();
+        }
+        assert!(set.is_empty());
+        assert!(set.root.is_none(), "empty root must collapse to None");
+        // Point inserts revive the drained tree.
+        assert!(set.insert_one(&77));
+        assert!(!set.insert_one(&77));
+        assert!(set.contains(&77));
+        assert_eq!(set.len(), 1);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::mem::MaybeUninit;
 
 use crate::node::{InnerNode, InterpolateKey, LeafNode, Node, LEAF_CAPACITY};
 use crate::traverse::{partition_batch, SEQ_BATCH_LEN};
-use crate::tree::build;
+use crate::tree::{build, child_index};
 
 /// A subtree is rebuilt when its size leaves
 /// `[built_len / REBUILD_FACTOR, built_len * REBUILD_FACTOR]`.  Factor 2
@@ -27,6 +27,13 @@ const REBUILD_FACTOR: usize = 2;
 /// Subtrees at or below this many keys are flattened sequentially by
 /// [`collect_keys`]; above it, collection forks per child.
 const SEQ_COLLECT_LEN: usize = 2048;
+
+/// Batches at or below this length run as a loop of point operations
+/// ([`insert_one`] / [`remove_one`]) instead of the batch recursion, whose
+/// per-level scratch allocations dominate for a handful of keys.  Applying
+/// a sorted, deduplicated batch key-by-key is observationally identical to
+/// the batched run.
+pub(crate) const POINT_BATCH_LEN: usize = 8;
 
 /// One child's share of a batched update: the subtree, its contiguous
 /// sub-batch, the matching output-flag slice, and the per-child count the
@@ -98,6 +105,115 @@ where
     // Prune inner nodes the retain above left degenerate: an emptied subtree
     // becomes an empty leaf (for the parent to drop in turn) and a single
     // surviving child is hoisted into its parent's slot.
+    if let Node::Inner(inner) = node {
+        if inner.children.len() < 2 {
+            *node = match inner.children.pop() {
+                Some(only) => only,
+                None => Node::Leaf(LeafNode { keys: Vec::new() }),
+            };
+        }
+    }
+    maybe_rebuild(node);
+    removed
+}
+
+/// Inserts a single key: interpolated descent, in-place leaf edit, in-place
+/// metadata maintenance.  Returns `true` iff the key was newly added.
+///
+/// This is the allocation-free fast path behind tiny batches — the shape
+/// the flat-combining front-end produces under low contention, where the
+/// batch recursion's per-level scratch (partition offsets, task lists,
+/// refreshed router vectors) costs more than the whole operation.
+///
+/// Metadata stays exact without touching the router array: the descent
+/// picks child `i` because `routers[i-1] <= key`, and `routers[i-1]` *is*
+/// child `i`'s minimum, so a newly inserted key can never become the
+/// minimum of any child except child 0 — whose minimum no router records.
+pub(crate) fn insert_one<K>(node: &mut Node<K>, key: &K) -> bool
+where
+    K: InterpolateKey + Clone + Send + Sync,
+{
+    let added = match node {
+        Node::Leaf(leaf) => match leaf.keys.binary_search(key) {
+            Ok(_) => false,
+            Err(pos) => {
+                leaf.keys.insert(pos, key.clone());
+                true
+            }
+        },
+        Node::Inner(inner) => {
+            let idx = child_index(inner, key);
+            let added = insert_one(&mut inner.children[idx], key);
+            if added {
+                inner.len += 1;
+                if *key < inner.min {
+                    inner.min = key.clone();
+                }
+                if *key > inner.max {
+                    inner.max = key.clone();
+                }
+            }
+            added
+        }
+    };
+    maybe_rebuild(node);
+    added
+}
+
+/// Removes a single key: interpolated descent, in-place leaf edit, in-place
+/// metadata maintenance (the counterpart of [`insert_one`]).  Returns
+/// `true` iff the key was present.  May leave `node` as an **empty leaf**
+/// when it held exactly this key; callers prune it (as with
+/// [`remove_from`]).
+pub(crate) fn remove_one<K>(node: &mut Node<K>, key: &K) -> bool
+where
+    K: InterpolateKey + Clone + Send + Sync,
+{
+    let removed = match node {
+        Node::Leaf(leaf) => match leaf.keys.binary_search(key) {
+            Ok(pos) => {
+                leaf.keys.remove(pos);
+                true
+            }
+            Err(_) => false,
+        },
+        Node::Inner(inner) => {
+            let idx = child_index(inner, key);
+            let removed = remove_one(&mut inner.children[idx], key);
+            if removed {
+                inner.len -= 1;
+                if inner.children[idx].is_empty() {
+                    // Drop the emptied child and the router that named it
+                    // (child 0 is named by no router; dropping it promotes
+                    // router 0's key to plain first-child minimum).
+                    inner.children.remove(idx);
+                    inner.routers.remove(idx.saturating_sub(1));
+                } else {
+                    // Removing a child's minimum shifts the router that
+                    // records it; removing its maximum shifts nothing.
+                    if idx > 0 {
+                        let child_min = inner.children[idx].min_key();
+                        if *child_min != inner.routers[idx - 1] {
+                            inner.routers[idx - 1] = child_min.clone();
+                        }
+                    }
+                }
+                if !inner.children.is_empty() {
+                    let first_min = inner.children[0].min_key();
+                    if inner.min != *first_min {
+                        inner.min = first_min.clone();
+                    }
+                    let last_max = inner.children[inner.children.len() - 1].max_key();
+                    if inner.max != *last_max {
+                        inner.max = last_max.clone();
+                    }
+                }
+            }
+            removed
+        }
+    };
+    // Same degenerate-node pruning as the batch path: hoist a lone child,
+    // collapse an emptied node into an empty leaf for the parent to drop.
     if let Node::Inner(inner) = node {
         if inner.children.len() < 2 {
             *node = match inner.children.pop() {

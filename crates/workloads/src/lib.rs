@@ -277,6 +277,88 @@ pub fn mixed_op_batches_zipf(
         .collect()
 }
 
+/// One client's operation trace: `(kind, key)` pairs in issue order.
+///
+/// This is the input shape of the *concurrent* front-end (`combine`):
+/// single-key operations, one stream per client thread, rather than the
+/// pre-batched [`OpBatch`]es the batched API consumes directly.
+pub type ClientTrace = Vec<(OpKind, u64)>;
+
+/// Generates one operation trace per client thread, with kinds drawn by
+/// `mix` and keys i.i.d. uniform over `range`.
+///
+/// Each client gets its **own** derived seed (split off `seed` through one
+/// extra SplitMix64 step), so traces are independent streams: a failing
+/// concurrent run replays exactly from `(seed, clients, ops_per_client)`,
+/// and no two clients share a key sequence.
+///
+/// ```
+/// let traces = workloads::client_traces(7, 4, 100, 0..1000, (2, 1, 1));
+/// assert_eq!(traces.len(), 4);
+/// assert!(traces.iter().all(|t| t.len() == 100));
+/// assert_eq!(traces, workloads::client_traces(7, 4, 100, 0..1000, (2, 1, 1)));
+/// assert_ne!(traces[0], traces[1]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `range` is empty or every weight in `mix` is zero.
+pub fn client_traces(
+    seed: u64,
+    clients: usize,
+    ops_per_client: usize,
+    range: Range<u64>,
+    mix: OpMix,
+) -> Vec<ClientTrace> {
+    assert!(range.start < range.end, "empty key range");
+    let width = range.end - range.start;
+    let mut seeder = SplitMix64::new(seed);
+    (0..clients)
+        .map(|_| {
+            let mut rng = SplitMix64::new(seeder.next_u64());
+            (0..ops_per_client)
+                .map(|_| {
+                    let kind = pick_kind(&mut rng, mix);
+                    (kind, range.start + rng.next_below(width))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Like [`client_traces`], but keys are drawn from `universe` by
+/// Zipf-distributed rank with exponent `theta` — hot-key traffic, where
+/// concurrent clients collide on the same keys and the combining layer's
+/// duplicate resolution actually gets exercised.
+///
+/// # Panics
+///
+/// Panics if `universe` is empty, `theta` is invalid (see
+/// [`ZipfSampler::new`]), or every weight in `mix` is zero.
+pub fn client_traces_zipf(
+    seed: u64,
+    clients: usize,
+    ops_per_client: usize,
+    universe: &[u64],
+    theta: f64,
+    mix: OpMix,
+) -> Vec<ClientTrace> {
+    let mut seeder = SplitMix64::new(seed);
+    (0..clients)
+        .map(|_| {
+            let client_seed = seeder.next_u64();
+            let mut rng = SplitMix64::new(client_seed);
+            let mut zipf = ZipfSampler::new(client_seed ^ 0x5EED_2F17, universe.len(), theta);
+            (0..ops_per_client)
+                .map(|_| {
+                    let kind = pick_kind(&mut rng, mix);
+                    (kind, universe[zipf.next_rank()])
+                })
+                .collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,5 +468,139 @@ mod tests {
             // Expected 5000 each; allow a wide tolerance.
             assert!((3500..6500).contains(&count), "rank {rank}: {count}");
         }
+    }
+
+    // ---- statistical sanity: these generators underpin every oracle test
+    // and benchmark, so their distributions are pinned here, not assumed.
+
+    /// Chi-square-style bucket bound on the uniform generator: with
+    /// `SAMPLES` draws over `BUCKETS` equiprobable buckets, each count is
+    /// Binomial(SAMPLES, 1/BUCKETS); mean 1000, sigma ≈ 31.4.  A ±6σ band
+    /// (~[811, 1189]) makes a false failure astronomically unlikely while
+    /// still catching any real bucket bias.  Checked per seed so a failure
+    /// names the offending seed.
+    #[test]
+    fn splitmix_uniform_bucket_coverage() {
+        const BUCKETS: u64 = 64;
+        const SAMPLES: usize = 64_000;
+        let expected = SAMPLES as f64 / BUCKETS as f64;
+        let sigma = (SAMPLES as f64 * (1.0 / BUCKETS as f64) * (1.0 - 1.0 / BUCKETS as f64)).sqrt();
+        for seed in [1u64, 0xDEAD_BEEF, u64::MAX / 3] {
+            let mut rng = SplitMix64::new(seed);
+            let mut counts = [0usize; BUCKETS as usize];
+            for _ in 0..SAMPLES {
+                counts[rng.next_below(BUCKETS) as usize] += 1;
+            }
+            for (bucket, &count) in counts.iter().enumerate() {
+                let dev = (count as f64 - expected).abs();
+                assert!(
+                    dev <= 6.0 * sigma,
+                    "seed {seed}: bucket {bucket} has {count} hits \
+                     (expected {expected:.0} ± {:.0})",
+                    6.0 * sigma
+                );
+            }
+        }
+    }
+
+    /// Zipf rank-frequency shape: decade-bucketed counts must be strictly
+    /// decreasing (individual adjacent ranks differ too little to assert
+    /// on, whole decades differ by large factors), and the top rank's mass
+    /// must sit in the analytic band `1 / H_{n,θ}` ± 6σ.
+    #[test]
+    fn zipf_rank_frequency_is_monotone_with_expected_head_mass() {
+        const N: usize = 100;
+        const SAMPLES: usize = 100_000;
+        const THETA: f64 = 1.0;
+        for seed in [3u64, 77, 4096] {
+            let mut zipf = ZipfSampler::new(seed, N, THETA);
+            let mut counts = [0usize; N];
+            for _ in 0..SAMPLES {
+                counts[zipf.next_rank()] += 1;
+            }
+            let decades: Vec<usize> = counts.chunks(10).map(|c| c.iter().sum()).collect();
+            for pair in decades.windows(2) {
+                assert!(
+                    pair[0] > pair[1],
+                    "seed {seed}: decade counts not decreasing: {decades:?}"
+                );
+            }
+            // p(rank 0) = 1 / H_{n,θ} with H the generalised harmonic number.
+            let harmonic: f64 = (1..=N).map(|i| 1.0 / (i as f64).powf(THETA)).sum();
+            let p0 = 1.0 / harmonic;
+            let sigma = (SAMPLES as f64 * p0 * (1.0 - p0)).sqrt();
+            let head = counts[0] as f64;
+            assert!(
+                (head - SAMPLES as f64 * p0).abs() <= 6.0 * sigma,
+                "seed {seed}: head rank has {head} hits, expected {:.0} ± {:.0}",
+                SAMPLES as f64 * p0,
+                6.0 * sigma
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_keys_are_in_range_deterministic_and_exact() {
+        for seed in [5u64, 99] {
+            let keys = uniform_keys_distinct(seed, 2_000, 100..50_000);
+            assert_eq!(keys.len(), 2_000, "seed {seed}");
+            assert!(
+                keys.iter().all(|k| (100..50_000).contains(k)),
+                "seed {seed}"
+            );
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 2_000, "seed {seed}: duplicates generated");
+            assert_eq!(keys, uniform_keys_distinct(seed, 2_000, 100..50_000));
+        }
+        // Saturating the range is legal: every value appears exactly once.
+        let mut all = uniform_keys_distinct(11, 64, 0..64);
+        all.sort_unstable();
+        assert_eq!(all, (0..64u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn client_traces_are_per_client_independent_streams() {
+        let traces = client_traces(42, 6, 500, 10..5_000, (3, 2, 1));
+        assert_eq!(traces.len(), 6);
+        for (c, trace) in traces.iter().enumerate() {
+            assert_eq!(trace.len(), 500, "client {c}");
+            assert!(
+                trace.iter().all(|(_, k)| (10..5_000).contains(k)),
+                "client {c}"
+            );
+        }
+        // Determinism and stream independence.
+        assert_eq!(traces, client_traces(42, 6, 500, 10..5_000, (3, 2, 1)));
+        for pair in traces.windows(2) {
+            assert_ne!(pair[0], pair[1]);
+        }
+        // Weights are honoured: zero-weight kinds never appear.
+        let no_removes = client_traces(9, 2, 400, 0..100, (1, 0, 1));
+        assert!(no_removes
+            .iter()
+            .flatten()
+            .all(|(kind, _)| *kind != OpKind::Remove));
+    }
+
+    #[test]
+    fn zipf_client_traces_draw_hot_keys_from_universe() {
+        let universe: Vec<u64> = (0..200u64).map(|i| i * 31).collect();
+        let traces = client_traces_zipf(13, 4, 2_000, &universe, 0.99, (1, 1, 2));
+        assert_eq!(traces.len(), 4);
+        for trace in &traces {
+            assert!(trace.iter().all(|(_, k)| universe.contains(k)));
+        }
+        // Every client's hottest key is hotter than a cold one.
+        for (c, trace) in traces.iter().enumerate() {
+            let hot = trace.iter().filter(|(_, k)| *k == universe[0]).count();
+            let cold = trace.iter().filter(|(_, k)| *k == universe[199]).count();
+            assert!(hot > cold, "client {c}: hot={hot} cold={cold}");
+        }
+        assert_eq!(
+            traces,
+            client_traces_zipf(13, 4, 2_000, &universe, 0.99, (1, 1, 2))
+        );
     }
 }

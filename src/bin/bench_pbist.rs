@@ -9,6 +9,8 @@
 //!
 //! ```sh
 //! cargo run --release --bin bench_pbist
+//! # CI smoke: tiny sizes, one repetition
+//! BENCH_PBIST_QUICK=1 cargo run --release --bin bench_pbist
 //! ```
 
 use std::time::Instant;
@@ -21,14 +23,32 @@ use pbist_repro::{
     workloads,
 };
 
-/// Keys in the pre-built set.
-const NUM_KEYS: usize = 100_000;
-/// Operations per batch.
-const BATCH_LEN: usize = 10_000;
-/// Timed repetitions per measurement; the minimum is reported.
-const REPS: usize = 3;
-/// Key universe.
-const KEY_RANGE: std::ops::Range<u64> = 0..10_000_000;
+/// Benchmark sizes; `quick` is the CI smoke configuration.
+struct Config {
+    /// Keys in the pre-built set.
+    num_keys: usize,
+    /// Operations per batch.
+    batch_len: usize,
+    /// Timed repetitions per measurement; the minimum is reported.
+    reps: usize,
+    /// Key universe (width scales with `num_keys` so hit rates match).
+    key_range_end: u64,
+}
+
+const FULL: Config = Config {
+    num_keys: 100_000,
+    batch_len: 10_000,
+    reps: 3,
+    key_range_end: 10_000_000,
+};
+
+const QUICK: Config = Config {
+    num_keys: 5_000,
+    batch_len: 500,
+    reps: 1,
+    key_range_end: 500_000,
+};
+
 /// Zipf exponent for the skewed distribution.
 const ZIPF_THETA: f64 = 0.9;
 
@@ -42,22 +62,29 @@ struct Measurement {
 }
 
 fn main() {
-    let base_keys = workloads::uniform_keys_distinct(0x5EED, NUM_KEYS, KEY_RANGE);
+    let quick = std::env::var_os("BENCH_PBIST_QUICK").is_some();
+    let cfg = if quick { QUICK } else { FULL };
+    let key_range = 0..cfg.key_range_end;
+    let base_keys = workloads::uniform_keys_distinct(0x5EED, cfg.num_keys, key_range.clone());
 
     // Query batches per distribution.  Zipf queries are drawn from the key
     // universe itself (hot-key reads); the uniform insert batch doubles as
     // the update batch for both distributions so update measurements stay
     // comparable.
-    let uniform_queries =
-        Batch::from_unsorted(workloads::uniform_keys(0xBEEF, BATCH_LEN, KEY_RANGE));
+    let uniform_queries = Batch::from_unsorted(workloads::uniform_keys(
+        0xBEEF,
+        cfg.batch_len,
+        key_range.clone(),
+    ));
     let mut zipf = workloads::ZipfSampler::new(0x21BF, base_keys.len(), ZIPF_THETA);
     let zipf_queries = Batch::from_unsorted(
-        zipf.take(BATCH_LEN)
+        zipf.take(cfg.batch_len)
             .into_iter()
             .map(|rank| base_keys[rank])
             .collect(),
     );
-    let update_batch = Batch::from_unsorted(workloads::uniform_keys(0xD00D, BATCH_LEN, KEY_RANGE));
+    let update_batch =
+        Batch::from_unsorted(workloads::uniform_keys(0xD00D, cfg.batch_len, key_range));
 
     let mut results = Vec::new();
     for &threads in &[1usize, 2, 4] {
@@ -67,11 +94,11 @@ fn main() {
                 let runs = match structure {
                     "ist" => {
                         let set = pool.install(|| IstSet::from_unsorted(base_keys.clone()));
-                        bench_set(&pool, set, queries, &update_batch)
+                        bench_set(&pool, set, queries, &update_batch, cfg.reps)
                     }
                     _ => {
                         let set = SortedArraySet::from_unsorted(base_keys.clone());
-                        bench_set(&pool, set, queries, &update_batch)
+                        bench_set(&pool, set, queries, &update_batch, cfg.reps)
                     }
                 };
                 for (op, best_ms, mean_ms) in runs {
@@ -93,7 +120,7 @@ fn main() {
         }
     }
 
-    let json = render_json(&results);
+    let json = render_json(&cfg, quick, &results);
     std::fs::write("BENCH_pbist.json", &json).expect("write BENCH_pbist.json");
     println!("wrote BENCH_pbist.json ({} measurements)", results.len());
 }
@@ -106,13 +133,14 @@ fn bench_set<S>(
     set: S,
     queries: &Batch<u64>,
     updates: &Batch<u64>,
+    reps: usize,
 ) -> Vec<(&'static str, f64, f64)>
 where
     S: BatchedSet<u64> + Clone + Send + Sync,
 {
     let mut out = Vec::new();
 
-    let contains_ms: Vec<f64> = (0..REPS)
+    let contains_ms: Vec<f64> = (0..reps)
         .map(|_| {
             pool.install(|| {
                 let start = Instant::now();
@@ -125,9 +153,9 @@ where
         .collect();
     out.push(("contains", min_of(&contains_ms), mean_of(&contains_ms)));
 
-    let mut insert_ms = Vec::with_capacity(REPS);
-    let mut remove_ms = Vec::with_capacity(REPS);
-    for _ in 0..REPS {
+    let mut insert_ms = Vec::with_capacity(reps);
+    let mut remove_ms = Vec::with_capacity(reps);
+    for _ in 0..reps {
         let mut scratch = set.clone();
         let (ins, rem) = pool.install(|| {
             let start = Instant::now();
@@ -160,13 +188,13 @@ fn mean_of(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 
-fn render_json(results: &[Measurement]) -> String {
+fn render_json(cfg: &Config, quick: bool, results: &[Measurement]) -> String {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"pbist\",\n");
     json.push_str(&format!(
-        "  \"config\": {{\"num_keys\": {NUM_KEYS}, \"batch_len\": {BATCH_LEN}, \"reps\": {REPS}, \"key_range\": [{}, {}], \"zipf_theta\": {ZIPF_THETA}}},\n",
-        KEY_RANGE.start, KEY_RANGE.end
+        "  \"config\": {{\"quick\": {quick}, \"num_keys\": {}, \"batch_len\": {}, \"reps\": {}, \"key_range\": [0, {}], \"zipf_theta\": {ZIPF_THETA}}},\n",
+        cfg.num_keys, cfg.batch_len, cfg.reps, cfg.key_range_end
     ));
     json.push_str("  \"results\": [\n");
     for (i, m) in results.iter().enumerate() {

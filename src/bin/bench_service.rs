@@ -1,0 +1,250 @@
+//! Concurrent-service benchmark: the flat-combining front-end
+//! (`combine::ConcurrentSet` over `pbist::IstSet`) against a coarse-locked
+//! per-operation baseline (`Mutex<BTreeSet>`), under 1/2/4/8 client
+//! threads issuing update-heavy single-key traffic (uniform and zipf).
+//!
+//! This measures what the batched speedups in `BENCH_pbist.json` buy
+//! *end-to-end*: per-client operations coalesce into sorted batches inside
+//! the combiner, so the service should overtake the per-op mutex baseline
+//! once enough clients contend.  Deterministic (seeded per-client traces,
+//! fixed configuration), std-only timing; one line per measurement on
+//! stdout, full results in `BENCH_service.json`.
+//!
+//! ```sh
+//! cargo run --release --bin bench_service
+//! # CI smoke: tiny sizes, one repetition
+//! BENCH_SERVICE_QUICK=1 cargo run --release --bin bench_service
+//! ```
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use pbist_repro::{
+    combine::{ConcurrentSet, Options},
+    forkjoin::Pool,
+    pbist::IstSet,
+    workloads::{self, ClientTrace, OpKind},
+};
+
+/// Benchmark sizes; `quick` is the CI smoke configuration.
+struct Config {
+    /// Keys pre-loaded into both structures.
+    num_keys: usize,
+    /// Operations each client thread issues per run.
+    ops_per_client: usize,
+    /// Timed repetitions per measurement; best and mean are reported.
+    reps: usize,
+}
+
+const FULL: Config = Config {
+    num_keys: 100_000,
+    ops_per_client: 40_000,
+    reps: 3,
+};
+
+const QUICK: Config = Config {
+    num_keys: 5_000,
+    ops_per_client: 2_000,
+    reps: 1,
+};
+
+/// Client-thread counts measured.
+const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Update-heavy operation mix: 2 inserts : 2 removes : 1 contains.
+const MIX: workloads::OpMix = (2, 2, 1);
+/// Key universe; prefilling half of it keeps update hit rates near 50%.
+fn key_range(cfg: &Config) -> std::ops::Range<u64> {
+    0..(cfg.num_keys as u64 * 2)
+}
+/// Zipf exponent for the skewed distribution.
+const ZIPF_THETA: f64 = 0.9;
+/// Workers in the combiner's fork-join pool.
+const POOL_THREADS: usize = 2;
+
+struct Measurement {
+    structure: &'static str,
+    dist: &'static str,
+    clients: usize,
+    best_ops_per_sec: f64,
+    mean_ops_per_sec: f64,
+    /// Mean combining-round size (`None` for the baseline).
+    avg_round_ops: Option<f64>,
+}
+
+fn main() {
+    let quick = std::env::var_os("BENCH_SERVICE_QUICK").is_some();
+    let cfg = if quick { QUICK } else { FULL };
+    let range = key_range(&cfg);
+
+    let prefill = workloads::uniform_keys_distinct(0x5EED, cfg.num_keys, range.clone());
+
+    let mut results = Vec::new();
+    for &clients in &CLIENT_COUNTS {
+        for dist in ["uniform", "zipf"] {
+            // Fresh traces per (clients, dist): per-client seeds derive from
+            // one root seed, so every structure replays identical traffic.
+            let seed = 0xC0FFEE ^ (clients as u64) << 8 ^ (dist.len() as u64);
+            let traces = match dist {
+                "uniform" => {
+                    workloads::client_traces(seed, clients, cfg.ops_per_client, range.clone(), MIX)
+                }
+                _ => workloads::client_traces_zipf(
+                    seed,
+                    clients,
+                    cfg.ops_per_client,
+                    &prefill,
+                    ZIPF_THETA,
+                    MIX,
+                ),
+            };
+            for structure in ["combine_ist", "mutex_btree"] {
+                let mut runs = Vec::with_capacity(cfg.reps);
+                let mut avg_round = None;
+                for _ in 0..cfg.reps {
+                    let (secs, round) = match structure {
+                        "combine_ist" => run_combine(&prefill, &traces),
+                        _ => (run_mutex_btree(&prefill, &traces), None),
+                    };
+                    if round.is_some() {
+                        avg_round = round;
+                    }
+                    runs.push((clients * cfg.ops_per_client) as f64 / secs);
+                }
+                let m = Measurement {
+                    structure,
+                    dist,
+                    clients,
+                    best_ops_per_sec: runs.iter().copied().fold(0.0, f64::max),
+                    mean_ops_per_sec: runs.iter().sum::<f64>() / runs.len() as f64,
+                    avg_round_ops: avg_round,
+                };
+                let round = m
+                    .avg_round_ops
+                    .map(|r| format!("  avg round {r:6.2} ops"))
+                    .unwrap_or_default();
+                println!(
+                    "{:>12} {:>7} clients={}: best {:10.0} ops/s  mean {:10.0} ops/s{round}",
+                    m.structure, m.dist, m.clients, m.best_ops_per_sec, m.mean_ops_per_sec
+                );
+                results.push(m);
+            }
+        }
+    }
+
+    let json = render_json(&cfg, quick, &results);
+    std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
+    println!("wrote BENCH_service.json ({} measurements)", results.len());
+}
+
+/// One timed run of the flat-combining service.  Returns elapsed seconds
+/// and the mean combining-round size.
+fn run_combine(prefill: &[u64], traces: &[ClientTrace]) -> (f64, Option<f64>) {
+    let pool = Pool::new(POOL_THREADS).expect("pool");
+    let backing = IstSet::from_unsorted(prefill.to_vec());
+    let set = Arc::new(ConcurrentSet::with_options(
+        backing,
+        pool,
+        Options::default(),
+    ));
+    let secs = drive_clients(traces, |trace, barrier| {
+        let set = Arc::clone(&set);
+        move || {
+            barrier.wait();
+            let start = Instant::now();
+            for (kind, key) in trace {
+                match kind {
+                    OpKind::Insert => set.insert(key),
+                    OpKind::Remove => set.remove(&key),
+                    OpKind::Contains => set.contains(&key),
+                };
+            }
+            (start, Instant::now())
+        }
+    });
+    let stats = set.stats();
+    let avg = (stats.rounds > 0).then(|| stats.ops as f64 / stats.rounds as f64);
+    (secs, avg)
+}
+
+/// One timed run of the per-operation coarse-lock baseline.
+fn run_mutex_btree(prefill: &[u64], traces: &[ClientTrace]) -> f64 {
+    let set = Arc::new(Mutex::new(
+        prefill.iter().copied().collect::<BTreeSet<u64>>(),
+    ));
+    drive_clients(traces, |trace, barrier| {
+        let set = Arc::clone(&set);
+        move || {
+            barrier.wait();
+            let start = Instant::now();
+            for (kind, key) in trace {
+                let mut guard = set.lock().unwrap();
+                match kind {
+                    OpKind::Insert => guard.insert(key),
+                    OpKind::Remove => guard.remove(&key),
+                    OpKind::Contains => guard.contains(&key),
+                };
+            }
+            (start, Instant::now())
+        }
+    })
+}
+
+/// Spawns one thread per trace, releases them together through a barrier,
+/// and reports the wall-clock span from the first client's start to the
+/// last client's finish.  Clients time themselves (returning their own
+/// start/end instants) because an outside observer's clock can start late:
+/// on a loaded or single-core machine the observer may be descheduled
+/// through the barrier wakeup while the clients run — and even finish.
+fn drive_clients<F, G>(traces: &[ClientTrace], mut client: F) -> f64
+where
+    F: FnMut(ClientTrace, Arc<Barrier>) -> G,
+    G: FnOnce() -> (Instant, Instant) + Send + 'static,
+{
+    let barrier = Arc::new(Barrier::new(traces.len()));
+    let handles: Vec<_> = traces
+        .iter()
+        .map(|trace| thread::spawn(client(trace.clone(), Arc::clone(&barrier))))
+        .collect();
+    let spans: Vec<(Instant, Instant)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let start = spans
+        .iter()
+        .map(|s| s.0)
+        .min()
+        .expect("at least one client");
+    let end = spans
+        .iter()
+        .map(|s| s.1)
+        .max()
+        .expect("at least one client");
+    (end - start).as_secs_f64()
+}
+
+fn render_json(cfg: &Config, quick: bool, results: &[Measurement]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"service\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"quick\": {quick}, \"num_keys\": {}, \"ops_per_client\": {}, \"reps\": {}, \"mix\": [2, 2, 1], \"zipf_theta\": {ZIPF_THETA}, \"pool_threads\": {POOL_THREADS}}},\n",
+        cfg.num_keys, cfg.ops_per_client, cfg.reps
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let round = m
+            .avg_round_ops
+            .map(|r| format!("{r:.2}"))
+            .unwrap_or_else(|| "null".into());
+        json.push_str(&format!(
+            "    {{\"structure\": \"{}\", \"dist\": \"{}\", \"clients\": {}, \"best_ops_per_sec\": {:.0}, \"mean_ops_per_sec\": {:.0}, \"avg_round_ops\": {round}}}{}\n",
+            m.structure,
+            m.dist,
+            m.clients,
+            m.best_ops_per_sec,
+            m.mean_ops_per_sec,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}

@@ -5,6 +5,7 @@
 
 pub use baselines;
 pub use batchapi;
+pub use combine;
 pub use forkjoin;
 pub use parprim;
 pub use pbist;

@@ -1,0 +1,265 @@
+//! Linearizability-style stress suite for the flat-combining front-end.
+//!
+//! N client threads issue recorded single-op traces through a
+//! `combine::ConcurrentSet` over the real tree.  The combiner logs every
+//! committed round; afterwards the test replays the rounds **sequentially**
+//! against a `BTreeSet` oracle and demands that
+//!
+//! 1. every per-op result recorded in the log matches the sequential replay
+//!    (the committed order is a valid linearisation),
+//! 2. the multiset of `(kind, key, result)` triples the clients observed
+//!    equals the multiset in the log (every client op appears exactly once,
+//!    with exactly the result its client saw), and
+//! 3. the backing set's final contents equal the oracle's, with the tree's
+//!    shape invariants intact.
+//!
+//! Together with the fact that round commit order respects real time (an op
+//! that completed before another started was drained in an earlier round),
+//! this is a linearizability check for the whole history.
+//!
+//! Every failure message carries the active seed and configuration so CI
+//! failures replay without bisecting.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+use std::thread;
+
+use pbist_repro::{
+    batchapi::{Batch, BatchedSet},
+    combine::{ConcurrentSet, OpKind as CombinedOp, Options},
+    forkjoin::Pool,
+    pbist::IstSet,
+    workloads::{self, ClientTrace, OpKind},
+};
+
+/// Drives `traces` concurrently through a logged `ConcurrentSet<_, IstSet>`
+/// seeded with `initial`, then runs the three oracle checks above.
+fn drive_and_verify(
+    ctx: &str,
+    pool_threads: usize,
+    pool_cutoff: usize,
+    initial: &[u64],
+    traces: &[ClientTrace],
+) {
+    let pool = Pool::new(pool_threads).unwrap_or_else(|e| panic!("{ctx}: pool: {e}"));
+    let backing = IstSet::from_unsorted(initial.to_vec());
+    let set = Arc::new(ConcurrentSet::with_options(
+        backing,
+        pool,
+        Options {
+            pool_cutoff,
+            log_rounds: true,
+        },
+    ));
+
+    let observed: Vec<Vec<bool>> = thread::scope(|s| {
+        let handles: Vec<_> = traces
+            .iter()
+            .map(|trace| {
+                let set = Arc::clone(&set);
+                s.spawn(move || {
+                    trace
+                        .iter()
+                        .map(|(kind, key)| match kind {
+                            OpKind::Insert => set.insert(*key),
+                            OpKind::Remove => set.remove(key),
+                            OpKind::Contains => set.contains(key),
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let rounds = set.take_rounds();
+    let total_ops: usize = traces.iter().map(|t| t.len()).sum();
+    assert_eq!(
+        rounds.iter().map(|r| r.ops.len()).sum::<usize>(),
+        total_ops,
+        "{ctx}: logged op count"
+    );
+
+    // Check 1: the committed round order is a valid linearisation.
+    let mut oracle: BTreeSet<u64> = initial.iter().copied().collect();
+    for (r, round) in rounds.iter().enumerate() {
+        for op in &round.ops {
+            let expect = match op.kind {
+                CombinedOp::Insert => oracle.insert(op.key),
+                CombinedOp::Remove => oracle.remove(&op.key),
+                CombinedOp::Contains => oracle.contains(&op.key),
+            };
+            assert_eq!(op.result, expect, "{ctx}: round {r}, op {op:?}");
+        }
+    }
+
+    // Check 2: clients observed exactly the logged multiset of results.
+    let mut tally: HashMap<(CombinedOp, u64, bool), i64> = HashMap::new();
+    for (trace, results) in traces.iter().zip(&observed) {
+        assert_eq!(results.len(), trace.len(), "{ctx}: client result count");
+        for ((kind, key), &result) in trace.iter().zip(results) {
+            let kind = match kind {
+                OpKind::Insert => CombinedOp::Insert,
+                OpKind::Remove => CombinedOp::Remove,
+                OpKind::Contains => CombinedOp::Contains,
+            };
+            *tally.entry((kind, *key, result)).or_insert(0) += 1;
+        }
+    }
+    for round in &rounds {
+        for op in &round.ops {
+            *tally.entry((op.kind, op.key, op.result)).or_insert(0) -= 1;
+        }
+    }
+    if let Some((entry, count)) = tally.iter().find(|(_, &c)| c != 0) {
+        panic!("{ctx}: client/log multiset mismatch at {entry:?} (excess {count})");
+    }
+
+    // Check 3: the final structure matches the oracle, invariants intact.
+    let stats = set.stats();
+    assert_eq!(stats.ops, total_ops as u64, "{ctx}: stats.ops");
+    let backing = Arc::try_unwrap(set)
+        .unwrap_or_else(|_| panic!("{ctx}: client Arc leaked"))
+        .into_inner();
+    backing
+        .check_invariants()
+        .unwrap_or_else(|e| panic!("{ctx}: invariants: {e}"));
+    assert_eq!(backing.len(), oracle.len(), "{ctx}: final len");
+    let present = Batch::from_unsorted(oracle.iter().copied().collect());
+    assert!(
+        backing.batch_contains(&present).iter().all(|&hit| hit),
+        "{ctx}: an oracle key is missing from the backing set"
+    );
+    let absent_probes = Batch::from_unsorted(
+        (0..1000u64)
+            .map(|i| i * 37)
+            .filter(|k| !oracle.contains(k))
+            .collect(),
+    );
+    assert!(
+        !backing
+            .batch_contains(&absent_probes)
+            .iter()
+            .any(|&hit| hit),
+        "{ctx}: the backing set holds a key the oracle does not"
+    );
+}
+
+/// Uniform traffic over a narrow key range (heavy cross-client collisions),
+/// across pool sizes 1–8 with the default inline/pool cutoff.
+#[test]
+fn uniform_traffic_linearizes_across_pool_sizes() {
+    for (seed, pool_threads) in [(1u64, 1usize), (2, 2), (3, 4), (4, 8)] {
+        let initial = workloads::uniform_keys_distinct(seed ^ 0xA5A5, 600, 0..2_000);
+        let traces = workloads::client_traces(seed, 4, 2_500, 0..2_000, (3, 2, 2));
+        let ctx = format!("seed {seed}, pool {pool_threads}, cutoff default");
+        drive_and_verify(
+            &ctx,
+            pool_threads,
+            Options::default().pool_cutoff,
+            &initial,
+            &traces,
+        );
+    }
+}
+
+/// Zipf hot-key traffic: many concurrent ops on the same few keys, which is
+/// exactly what stresses duplicate resolution inside one round.
+#[test]
+fn zipf_hot_key_traffic_linearizes() {
+    for (seed, pool_threads) in [(5u64, 2usize), (6, 4)] {
+        let universe = workloads::uniform_keys_distinct(seed, 300, 0..1_000_000);
+        let initial: Vec<u64> = universe[..150].to_vec();
+        let traces = workloads::client_traces_zipf(seed, 6, 800, &universe, 0.99, (2, 2, 1));
+        let ctx = format!("seed {seed}, pool {pool_threads}, zipf");
+        drive_and_verify(
+            &ctx,
+            pool_threads,
+            Options::default().pool_cutoff,
+            &initial,
+            &traces,
+        );
+    }
+}
+
+/// `pool_cutoff: 0` forces every round — even single-op ones — through
+/// `Pool::install`, exercising the pooled execution path that default
+/// configurations only hit on large rounds.  Run on a 1-worker pool, the
+/// configuration where a blocking bug becomes a deadlock rather than a
+/// slowdown.
+#[test]
+fn one_worker_pool_with_forced_pool_rounds() {
+    let seed = 7u64;
+    let initial = workloads::uniform_keys_distinct(seed, 400, 0..1_500);
+    let traces = workloads::client_traces(seed, 4, 400, 0..1_500, (3, 2, 2));
+    let ctx = format!("seed {seed}, pool 1, cutoff 0");
+    drive_and_verify(&ctx, 1, 0, &initial, &traces);
+}
+
+/// The owner's handle can be dropped while clients still hold theirs and
+/// have operations in flight; the last client to finish tears the whole
+/// front-end (and its pool) down from a worker-facing thread.
+#[test]
+fn drop_with_waiters_lifecycle() {
+    let seed = 8u64;
+    let pool = Pool::new(2).unwrap();
+    let set = Arc::new(ConcurrentSet::new(
+        IstSet::from_unsorted((0..500u64).collect()),
+        pool,
+    ));
+    let traces = workloads::client_traces(seed, 8, 500, 0..1_000, (2, 2, 1));
+    let handles: Vec<_> = traces
+        .into_iter()
+        .map(|trace| {
+            let set = Arc::clone(&set);
+            thread::spawn(move || {
+                for (kind, key) in trace {
+                    match kind {
+                        OpKind::Insert => set.insert(key),
+                        OpKind::Remove => set.remove(&key),
+                        OpKind::Contains => set.contains(&key),
+                    };
+                }
+            })
+        })
+        .collect();
+    // Drop the owning handle immediately: clients keep the set alive, and
+    // whoever finishes last runs the full teardown.
+    drop(set);
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// `len` participates in combining (it flushes pending ops first), so
+/// calling it concurrently with mutating traffic must neither deadlock nor
+/// return out-of-thin-air values.
+#[test]
+fn concurrent_len_reads_stay_bounded() {
+    let pool = Pool::new(2).unwrap();
+    let set = Arc::new(ConcurrentSet::new(IstSet::from_unsorted(Vec::new()), pool));
+    let writers = 3usize;
+    let per_writer = 500u64;
+    thread::scope(|s| {
+        for w in 0..writers as u64 {
+            let set = Arc::clone(&set);
+            s.spawn(move || {
+                for i in 0..per_writer {
+                    // Distinct key spaces: the set only ever grows.
+                    set.insert(w * 10_000 + i);
+                }
+            });
+        }
+        let set = Arc::clone(&set);
+        s.spawn(move || {
+            let mut last = 0usize;
+            for _ in 0..200 {
+                let n = set.len();
+                assert!(n >= last, "len went backwards: {last} -> {n}");
+                assert!(n <= writers * per_writer as usize, "len overshot: {n}");
+                last = n;
+            }
+        });
+    });
+    assert_eq!(set.len(), writers * per_writer as usize);
+}
