@@ -110,11 +110,12 @@
 use std::cell::UnsafeCell;
 use std::mem;
 use std::ptr;
-use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use batchapi::{Batch, BatchedSet};
 use forkjoin::Pool;
+use obs::{Counter, Histogram, Registry, SpanRecord, TraceRing};
 
 /// Iterations of the pure spin phase before a waiting client starts
 /// yielding.  Kept short: the combiner usually finishes small rounds fast,
@@ -186,6 +187,14 @@ pub struct Options {
     /// Off by default: the log clones every key and grows without bound,
     /// so it is strictly a testing/debugging facility.
     pub log_rounds: bool,
+    /// Capacity of the round-trace ring behind
+    /// [`ConcurrentSet::take_trace`] / [`ConcurrentSet::trace_json`]:
+    /// one span per committed round, begin/end timestamps plus op count.
+    /// `0` (the default) disables tracing.  The ring is bounded — once
+    /// full each new span evicts the oldest (the eviction count is
+    /// reported alongside the spans), so it is safe to leave on in
+    /// long-running services, unlike the round log.
+    pub trace_capacity: usize,
 }
 
 impl Default for Options {
@@ -193,12 +202,17 @@ impl Default for Options {
         Options {
             pool_cutoff: 512,
             log_rounds: false,
+            trace_capacity: 0,
         }
     }
 }
 
-/// Counters describing the combining behaviour so far (monotone,
-/// `Relaxed`; exact only once the set is quiescent).
+/// Counters describing the combining behaviour so far (monotone; exact
+/// once the set is quiescent).
+///
+/// Even while combiners run, every snapshot satisfies `ops >= rounds`
+/// (each committed round carries at least one op — see the write-order
+/// contract on the counter advance) and `pooled_rounds <= rounds`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Stats {
     /// Combining rounds committed.
@@ -207,6 +221,42 @@ pub struct Stats {
     pub ops: u64,
     /// Rounds large enough to execute inside the pool.
     pub pooled_rounds: u64,
+}
+
+/// Handles cloned out of the registry once at construction, so the hot
+/// path hits the atomics directly and never touches the registry mutex.
+struct CombineMetrics {
+    /// `combine.rounds` — committed combining rounds (fast-path singletons
+    /// included).
+    rounds: Arc<Counter>,
+    /// `combine.ops` — client operations completed across all rounds.
+    ops: Arc<Counter>,
+    /// `combine.pooled_rounds` — rounds that executed inside the pool.
+    pooled_rounds: Arc<Counter>,
+    /// `combine.fast_path_rounds` — ops that took the uncontended fast
+    /// path (won the flag without publishing a slot).
+    fast_path_rounds: Arc<Counter>,
+    /// `combine.slow_path_ops` — ops that published a slot and went
+    /// through the combining handshake.
+    slow_path_ops: Arc<Counter>,
+    /// `combine.poisoned` — combiner panics that poisoned the front-end.
+    poisoned: Arc<Counter>,
+    /// `combine.round_size` — ops per committed round.
+    round_size: Arc<Histogram>,
+}
+
+impl CombineMetrics {
+    fn new(registry: &Registry) -> CombineMetrics {
+        CombineMetrics {
+            rounds: registry.counter("combine.rounds"),
+            ops: registry.counter("combine.ops"),
+            pooled_rounds: registry.counter("combine.pooled_rounds"),
+            fast_path_rounds: registry.counter("combine.fast_path_rounds"),
+            slow_path_ops: registry.counter("combine.slow_path_ops"),
+            poisoned: registry.counter("combine.poisoned"),
+            round_size: registry.histogram("combine.round_size"),
+        }
+    }
 }
 
 /// Per-kind scratch for the round being combined.  Only the combiner (the
@@ -286,9 +336,14 @@ pub struct ConcurrentSet<K, S> {
     /// that round — are indeterminate, so every subsequent operation
     /// panics instead of blocking forever.  Mutex-poisoning semantics.
     poisoned: AtomicBool,
-    stat_rounds: AtomicU64,
-    stat_ops: AtomicU64,
-    stat_pooled: AtomicU64,
+    /// Named-metric registry behind [`ConcurrentSet::metrics`]; the hot
+    /// path goes through the pre-cloned handles in `metrics` instead.
+    registry: Registry,
+    /// See [`CombineMetrics`].
+    metrics: CombineMetrics,
+    /// Round-trace ring, present when [`Options::trace_capacity`] was
+    /// non-zero.  Internally locked; spans are recorded by the combiner.
+    trace: Option<TraceRing>,
 }
 
 /// Releases the combiner flag (and wakes waiters) on every exit from a
@@ -305,6 +360,7 @@ impl<K, S> Drop for CombinerGuard<'_, K, S> {
     fn drop(&mut self) {
         let poisoning = std::thread::panicking();
         if poisoning {
+            self.set.metrics.poisoned.inc();
             // SeqCst so the unlock below can never be observed before the
             // poison by a waiter's fenced re-check.
             self.set.poisoned.store(true, Ordering::SeqCst);
@@ -347,6 +403,8 @@ where
 
     /// Wraps `set` with explicit [`Options`].
     pub fn with_options(set: S, pool: Pool, options: Options) -> ConcurrentSet<K, S> {
+        let registry = Registry::new();
+        let metrics = CombineMetrics::new(&registry);
         ConcurrentSet {
             ingress: AtomicPtr::new(ptr::null_mut()),
             combiner: AtomicBool::new(false),
@@ -364,9 +422,9 @@ where
             progress: Condvar::new(),
             sleepers: AtomicUsize::new(0),
             poisoned: AtomicBool::new(false),
-            stat_rounds: AtomicU64::new(0),
-            stat_ops: AtomicU64::new(0),
-            stat_pooled: AtomicU64::new(0),
+            registry,
+            metrics,
+            trace: (options.trace_capacity > 0).then(|| TraceRing::new(options.trace_capacity)),
         }
     }
 
@@ -432,10 +490,52 @@ where
 
     /// Snapshot of the combining counters.
     pub fn stats(&self) -> Stats {
+        // `rounds` is Acquire-loaded FIRST: it pairs with the combiner's
+        // Release store in `bump_stats`, whose write order guarantees the
+        // `ops` (and `pooled_rounds`) advances of every visible round
+        // happened-before — so `ops >= rounds` in any snapshot.
+        let rounds = self.metrics.rounds.get_acquire();
+        let ops = self.metrics.ops.get();
+        // `pooled_rounds` advances before `rounds`, so a racing reader can
+        // see the new pooled count with the old round count; clamping
+        // keeps the documented `pooled_rounds <= rounds`.
+        let pooled_rounds = self.metrics.pooled_rounds.get().min(rounds);
         Stats {
-            rounds: self.stat_rounds.load(Ordering::Relaxed),
-            ops: self.stat_ops.load(Ordering::Relaxed),
-            pooled_rounds: self.stat_pooled.load(Ordering::Relaxed),
+            rounds,
+            ops,
+            pooled_rounds,
+        }
+    }
+
+    /// Snapshot of every named metric on the front-end's registry — the
+    /// [`ConcurrentSet::stats`] counters plus the fast/slow path split,
+    /// the poison count and the `combine.round_size` histogram.  Metric
+    /// names follow the workspace `<subsystem>.<metric>` convention.
+    pub fn metrics(&self) -> obs::Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Scheduler telemetry of the backing fork-join pool (all zeros unless
+    /// the pool was built with
+    /// [`PoolBuilder::metrics`](forkjoin::PoolBuilder::metrics) enabled).
+    /// Lets a service snapshot front-end and scheduler counters from one
+    /// handle.
+    pub fn pool_metrics(&self) -> forkjoin::PoolMetrics {
+        self.pool.metrics()
+    }
+
+    /// Drains the round-trace ring (empty unless built with a non-zero
+    /// [`Options::trace_capacity`]): one span per committed round, oldest
+    /// first, each carrying begin/end timestamps and its op count.
+    pub fn take_trace(&self) -> Vec<SpanRecord> {
+        self.trace.as_ref().map(TraceRing::take).unwrap_or_default()
+    }
+
+    /// Renders the current trace ring as JSON without draining it.
+    pub fn trace_json(&self) -> String {
+        match &self.trace {
+            Some(ring) => ring.to_json(),
+            None => String::from("{\"dropped\": 0, \"spans\": []}"),
         }
     }
 
@@ -489,6 +589,7 @@ where
         if !self.ingress.load(Ordering::Acquire).is_null() {
             self.combine_round();
         }
+        self.metrics.fast_path_rounds.add_single_writer(1);
         Some(self.run_point_op(kind, key))
     }
 
@@ -496,6 +597,8 @@ where
     /// logging it as a round of its own and counting it.  Caller must hold
     /// the combiner flag.
     fn run_point_op(&self, kind: OpKind, key: &K) -> bool {
+        // One span per point round; recorded when `_span` drops at return.
+        let _span = self.trace.as_ref().map(|ring| obs::trace_round(ring, 1));
         // SAFETY: the caller holds the combiner flag — exclusive set access.
         let set = unsafe { &mut *self.set.get() };
         let result = match kind {
@@ -519,6 +622,9 @@ where
     /// The contended path: publishes a slot, then combines or waits until
     /// the op completes.
     fn run_op_published(&self, kind: OpKind, key: K) -> bool {
+        // Concurrent clients land here, so this is a real RMW, not the
+        // combiner-only single-writer advance.
+        self.metrics.slow_path_ops.inc();
         let slot = OpSlot {
             next: AtomicPtr::new(ptr::null_mut()),
             kind,
@@ -690,6 +796,13 @@ where
                 .extend(lane.slots.iter().map(|&s| unsafe { (*s).key.clone() }));
         }
 
+        // One span for the whole batch round (build, execute, distribute,
+        // complete); recorded when `_span` drops at return.
+        let _span = self
+            .trace
+            .as_ref()
+            .map(|ring| obs::trace_round(ring, total));
+
         // One sorted batch per kind; the key buffers come back via
         // `into_vec` below, so steady-state rounds do not allocate.
         let con_batch = Batch::from_unsorted(mem::take(&mut con.keys));
@@ -776,18 +889,38 @@ where
         self.bump_stats(total, pooled);
     }
 
-    /// Advances the counters.  Combiner-only, so plain load+store beats an
-    /// atomic RMW; concurrent `stats()` readers may see a round's counters
-    /// mid-update, which the `Stats` contract (exact when quiescent) allows.
+    /// Advances the counters for one committed round.  Combiner-only — the
+    /// caller holds the combiner flag, and flag hand-off (Release unlock /
+    /// Acquire lock) orders successive combiners — so the single-writer
+    /// plain-load+store advance is exact without atomic RMWs.
+    ///
+    /// The *write order* is load-bearing for racing `stats()` readers,
+    /// Loom-style:
+    ///
+    /// ```text
+    /// combiner (this fn):              stats() reader:
+    ///   ops      += n   (Release)        r = rounds (Acquire)  // FIRST
+    ///   pooled   += 0|1 (Release)        o = ops    (Relaxed)
+    ///   round_size.record(n)             p = pooled (Relaxed)
+    ///   rounds   += 1   (Release)  // LAST
+    /// ```
+    ///
+    /// A reader that observes `rounds = r` observed the Release store that
+    /// published round *r*, so every write sequenced before it — the `ops`
+    /// advances of all `r` rounds — is visible: `o >= r` holds in **every**
+    /// snapshot, racing or quiescent, because each round carries at least
+    /// one op.  (An earlier revision advanced `rounds` first with `Relaxed`
+    /// stores, letting a racing reader see `ops < rounds`; the stress suite
+    /// now hammers this invariant.)  `pooled` advances before `rounds` too,
+    /// but a reader can still pair a new `pooled` with an old `rounds` —
+    /// `stats()` clamps instead.
     fn bump_stats(&self, ops: u64, pooled: bool) {
-        let rounds = self.stat_rounds.load(Ordering::Relaxed);
-        self.stat_rounds.store(rounds + 1, Ordering::Relaxed);
-        let total = self.stat_ops.load(Ordering::Relaxed);
-        self.stat_ops.store(total + ops, Ordering::Relaxed);
+        self.metrics.ops.add_single_writer(ops);
         if pooled {
-            let p = self.stat_pooled.load(Ordering::Relaxed);
-            self.stat_pooled.store(p + 1, Ordering::Relaxed);
+            self.metrics.pooled_rounds.add_single_writer(1);
         }
+        self.metrics.round_size.record(ops);
+        self.metrics.rounds.add_single_writer(1);
     }
 }
 
@@ -890,6 +1023,7 @@ mod tests {
             Options {
                 pool_cutoff: 4,
                 log_rounds: log,
+                ..Options::default()
             },
         )
     }
@@ -963,6 +1097,7 @@ mod tests {
             Options {
                 pool_cutoff: 0,
                 log_rounds: false,
+                ..Options::default()
             },
         );
         pooled.insert(1);
@@ -1010,6 +1145,7 @@ mod tests {
             Options {
                 pool_cutoff: 0,
                 log_rounds: false,
+                ..Options::default()
             },
         );
         assert!(set.insert(1));
@@ -1027,6 +1163,77 @@ mod tests {
         assert!(msg.contains("poisoned"), "{msg}");
         let len_call = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| set.len()));
         assert!(len_call.is_err());
+    }
+
+    #[test]
+    fn registry_metrics_split_fast_and_slow_paths() {
+        let set = fresh(false);
+        for k in 0..10 {
+            set.insert(k);
+        }
+        assert!(set.contains(&3));
+        let m = set.metrics();
+        // Sequential clients always win the flag: everything is fast path.
+        assert_eq!(m.counter("combine.fast_path_rounds"), Some(11));
+        assert_eq!(m.counter("combine.slow_path_ops"), Some(0));
+        assert_eq!(m.counter("combine.rounds"), Some(11));
+        assert_eq!(m.counter("combine.ops"), Some(11));
+        assert_eq!(m.counter("combine.poisoned"), Some(0));
+        let sizes = m.histogram("combine.round_size").unwrap();
+        assert_eq!(sizes.count(), 11);
+        assert_eq!(sizes.sum, 11, "all point rounds");
+        // The registry snapshot agrees with the legacy Stats view.
+        assert_eq!(set.stats().rounds, 11);
+        let json = m.to_json();
+        assert!(json.contains("\"combine.rounds\": 11"), "{json}");
+
+        // pool_cutoff <= 1 forbids the fast path; everything publishes.
+        let slow = ConcurrentSet::with_options(
+            VecSet(Vec::new()),
+            Pool::new(1).unwrap(),
+            Options {
+                pool_cutoff: 0,
+                ..Options::default()
+            },
+        );
+        slow.insert(1);
+        slow.insert(2);
+        let m = slow.metrics();
+        assert_eq!(m.counter("combine.fast_path_rounds"), Some(0));
+        assert_eq!(m.counter("combine.slow_path_ops"), Some(2));
+    }
+
+    #[test]
+    fn trace_ring_records_round_spans() {
+        let set = ConcurrentSet::with_options(
+            VecSet(Vec::new()),
+            Pool::new(1).unwrap(),
+            Options {
+                pool_cutoff: 4,
+                trace_capacity: 2,
+                ..Options::default()
+            },
+        );
+        // Tracing off by default elsewhere:
+        assert!(fresh(false).take_trace().is_empty());
+        assert_eq!(fresh(false).trace_json(), "{\"dropped\": 0, \"spans\": []}");
+
+        for k in 0..3 {
+            set.insert(k);
+        }
+        let json = set.trace_json();
+        assert!(
+            json.contains("\"dropped\": 1"),
+            "capacity 2, 3 rounds: {json}"
+        );
+        let spans = set.take_trace();
+        assert_eq!(spans.len(), 2);
+        for span in &spans {
+            assert_eq!(span.label, "round");
+            assert_eq!(span.ops, 1);
+            assert!(span.end_ns >= span.start_ns);
+        }
+        assert!(set.take_trace().is_empty(), "take drains");
     }
 
     #[test]

@@ -52,9 +52,11 @@
 mod deque;
 mod job;
 mod latch;
+mod metrics;
 mod pool;
 mod registry;
 
+pub use metrics::{PoolMetrics, WorkerMetricsSnapshot};
 pub use pool::{Pool, PoolBuildError, PoolBuilder};
 
 use registry::WorkerThread;

@@ -13,6 +13,7 @@ use std::thread;
 
 use crate::job::StackJob;
 use crate::latch::LockLatch;
+use crate::metrics::PoolMetrics;
 use crate::registry::{worker_main, Registry, WorkerThread};
 
 /// A fixed-size work-stealing thread pool executing [`join`](crate::join)
@@ -45,6 +46,19 @@ impl Pool {
     /// Returns the number of worker threads in this pool.
     pub fn num_threads(&self) -> usize {
         self.registry.num_threads()
+    }
+
+    /// Snapshot of the pool's scheduler telemetry: per-worker
+    /// steal/sleep/wake/jobs-executed counters and the join-latency
+    /// histogram.
+    ///
+    /// Collection must be enabled at build time via
+    /// [`PoolBuilder::metrics`]; on a default (disabled) pool this returns
+    /// all-zero counters with [`PoolMetrics::enabled`] set to `false`.
+    /// Counters are exact once the pool is quiescent (no `install` in
+    /// flight).
+    pub fn metrics(&self) -> PoolMetrics {
+        self.registry.metrics_snapshot()
     }
 
     /// Runs `op` on one of the pool's worker threads and returns its result,
@@ -126,16 +140,19 @@ pub struct PoolBuilder {
     num_threads: Option<usize>,
     thread_name_prefix: String,
     stack_size: Option<usize>,
+    metrics: bool,
 }
 
 impl PoolBuilder {
     /// Creates a builder with default settings: one worker per available CPU,
-    /// threads named `forkjoin-worker-<i>`, default stack size.
+    /// threads named `forkjoin-worker-<i>`, default stack size, metrics
+    /// collection disabled.
     pub fn new() -> PoolBuilder {
         PoolBuilder {
             num_threads: None,
             thread_name_prefix: String::from("forkjoin-worker"),
             stack_size: None,
+            metrics: false,
         }
     }
 
@@ -159,6 +176,15 @@ impl PoolBuilder {
         self
     }
 
+    /// Enables scheduler telemetry ([`Pool::metrics`]).  Off by default:
+    /// disabled, every instrumentation site is a single predictable branch
+    /// (the workspace's bench harness asserts < 2 ns/op) and `join` never
+    /// reads the clock.
+    pub fn metrics(mut self, enabled: bool) -> PoolBuilder {
+        self.metrics = enabled;
+        self
+    }
+
     /// Starts the worker threads and returns the running pool.
     ///
     /// On spawn failure the already-started workers are shut down and joined
@@ -171,7 +197,7 @@ impl PoolBuilder {
                 .map(|n| n.get())
                 .unwrap_or(1),
         };
-        let registry = Registry::new(num_threads);
+        let registry = Registry::new(num_threads, obs::Obs::new(self.metrics));
         let mut handles = Vec::with_capacity(num_threads);
         for index in 0..num_threads {
             let mut builder =
@@ -232,6 +258,7 @@ impl std::error::Error for PoolBuildError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::WorkerMetricsSnapshot;
 
     #[test]
     fn zero_threads_is_rejected() {
@@ -307,5 +334,69 @@ mod tests {
     fn error_display_is_informative() {
         let err = Pool::new(0).unwrap_err();
         assert!(err.to_string().contains("at least one"));
+    }
+
+    fn spray_joins(depth: u32) -> u64 {
+        if depth == 0 {
+            return 1;
+        }
+        let (a, b) = crate::join(|| spray_joins(depth - 1), || spray_joins(depth - 1));
+        a + b
+    }
+
+    #[test]
+    fn metrics_disabled_by_default_and_all_zero() {
+        let pool = Pool::new(2).unwrap();
+        assert_eq!(pool.install(|| spray_joins(6)), 64);
+        let m = pool.metrics();
+        assert!(!m.enabled);
+        assert_eq!(m.workers.len(), 2);
+        let t = m.totals();
+        assert_eq!(t, WorkerMetricsSnapshot::default());
+        assert_eq!(m.join_latency.count(), 0);
+    }
+
+    #[test]
+    fn metrics_enabled_pool_counts_work() {
+        let pool = Pool::builder()
+            .num_threads(2)
+            .metrics(true)
+            .build()
+            .unwrap();
+        for _ in 0..4 {
+            assert_eq!(pool.install(|| spray_joins(7)), 128);
+        }
+        let m = pool.metrics();
+        assert!(m.enabled);
+        assert_eq!(m.workers.len(), 2);
+        let t = m.totals();
+        // Every install enters through the injector, and popping the
+        // injector counts as a successful steal.
+        assert!(t.steal_success >= 4, "{t:?}");
+        assert!(t.jobs_executed >= 4, "{t:?}");
+        // Joins on workers record a fork-to-retire latency sample.
+        assert!(m.join_latency.count() > 0, "{m:?}");
+        assert!(m.join_latency.sum > 0, "{m:?}");
+        // A worker asleep at snapshot time has one unmatched sleep; wakes
+        // can exceed sleeps via spurious wait returns.  Only a loose bound
+        // holds per worker.
+        for w in &m.workers {
+            assert!(w.wakes + 1 >= w.sleeps, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn metrics_accumulate_across_installs() {
+        let pool = Pool::builder()
+            .num_threads(1)
+            .metrics(true)
+            .build()
+            .unwrap();
+        pool.install(|| spray_joins(4));
+        let before = pool.metrics().totals();
+        pool.install(|| spray_joins(4));
+        let after = pool.metrics().totals();
+        assert!(after.jobs_executed > before.jobs_executed);
+        assert!(after.steal_success > before.steal_success);
     }
 }

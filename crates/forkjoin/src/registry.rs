@@ -54,6 +54,7 @@ use std::thread;
 use crate::deque::{Deque, Steal};
 use crate::job::{JobRef, JobResult, PanicPayload, StackJob};
 use crate::latch::SpinLatch;
+use crate::metrics::{PoolMetrics, RegistryMetrics};
 
 /// The FIFO queue for jobs injected from outside the pool.  Mutexed on
 /// purpose — see the module docs.
@@ -92,10 +93,14 @@ pub(crate) struct Registry {
     /// Set once by `terminate`; workers exit their main loop when they see it
     /// and find no remaining work.
     terminating: AtomicBool,
+    /// Scheduler telemetry (per-worker counters + join-latency histogram),
+    /// live only when the pool was built with metrics enabled — every
+    /// recording site checks `metrics.obs` first.
+    metrics: RegistryMetrics,
 }
 
 impl Registry {
-    pub(crate) fn new(num_threads: usize) -> Arc<Registry> {
+    pub(crate) fn new(num_threads: usize, obs: obs::Obs) -> Arc<Registry> {
         Arc::new(Registry {
             injector: Injector::default(),
             queues: (0..num_threads).map(|_| Deque::new()).collect(),
@@ -103,7 +108,12 @@ impl Registry {
             work_available: Condvar::new(),
             sleepers: AtomicUsize::new(0),
             terminating: AtomicBool::new(false),
+            metrics: RegistryMetrics::new(num_threads, obs),
         })
+    }
+
+    pub(crate) fn metrics_snapshot(&self) -> PoolMetrics {
+        self.metrics.snapshot()
     }
 
     pub(crate) fn num_threads(&self) -> usize {
@@ -146,7 +156,9 @@ impl Registry {
     /// (progress happened system-wide), so spinning on that victim until it
     /// settles into `Success` or `Empty` cannot livelock.
     fn steal_work(&self, thief: usize) -> Option<JobRef> {
+        let obs = self.metrics.obs;
         if let Some(job) = self.injector.pop() {
+            obs.hit(&self.metrics.workers[thief].steal_success);
             return Some(job);
         }
         let n = self.queues.len();
@@ -154,12 +166,16 @@ impl Registry {
             let victim = (thief + offset) % n;
             loop {
                 match self.queues[victim].steal() {
-                    Steal::Success(job) => return Some(job),
+                    Steal::Success(job) => {
+                        obs.hit(&self.metrics.workers[thief].steal_success);
+                        return Some(job);
+                    }
                     Steal::Empty => break,
                     Steal::Retry => continue,
                 }
             }
         }
+        obs.hit(&self.metrics.workers[thief].steal_empty);
         None
     }
 
@@ -173,12 +189,21 @@ impl Registry {
     /// published its job before our fence, in which case the re-check sees
     /// it and we skip the wait.  Spurious wakeups that find the queues
     /// already drained by faster workers simply loop back to waiting.
-    fn sleep_until_work(&self) {
+    fn sleep_until_work(&self, worker: usize) {
+        let obs = self.metrics.obs;
         let mut guard = self.sleep_mutex.lock().unwrap();
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         fence(Ordering::SeqCst);
+        let mut slept = false;
         while !self.has_visible_work() && !self.terminating.load(Ordering::Acquire) {
+            if !slept {
+                // One sleep per blocking episode; each wait return below
+                // counts as a wake (spurious included).
+                slept = true;
+                obs.hit(&self.metrics.workers[worker].sleeps);
+            }
             guard = self.work_available.wait(guard).unwrap();
+            obs.hit(&self.metrics.workers[worker].wakes);
         }
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
@@ -242,14 +267,22 @@ pub(crate) fn worker_main(registry: Arc<Registry>, index: usize) {
         // SAFETY: this thread is the owner of `queues[index]`.
         let job = unsafe { worker.pop() }.or_else(|| worker.registry.steal_work(worker.index));
         match job {
-            // SAFETY: every published JobRef stays valid until executed (the
-            // join/install latch protocol), and is dequeued exactly once.
-            Some(job) => unsafe { job.execute() },
+            Some(job) => {
+                // Count before executing: `execute` fires the job's latch,
+                // releasing a waiter who may snapshot metrics immediately —
+                // counting first keeps counters exact at that point.
+                let m = &worker.registry.metrics;
+                m.obs.hit(&m.workers[worker.index].jobs_executed);
+                // SAFETY: every published JobRef stays valid until executed
+                // (the join/install latch protocol), and is dequeued exactly
+                // once.
+                unsafe { job.execute() };
+            }
             None => {
                 if worker.registry.terminating.load(Ordering::Acquire) {
                     break;
                 }
-                worker.registry.sleep_until_work();
+                worker.registry.sleep_until_work(worker.index);
             }
         }
     }
@@ -285,6 +318,10 @@ where
     RA: Send,
     RB: Send,
 {
+    // Clock reads only happen on metrics-enabled pools (`now()` returns
+    // `None` otherwise), so the default configuration never pays for an
+    // `Instant::now()` pair per join.
+    let start = worker.registry.metrics.obs.now();
     let job_b = StackJob::new(b, SpinLatch::new());
     let job_b_ref = job_b.as_job_ref();
     worker.push(job_b_ref);
@@ -292,6 +329,8 @@ where
 
     let result_a = panic::catch_unwind(AssertUnwindSafe(a));
     let result_b = wait_for_job(worker, &job_b, job_b_ref);
+    let metrics = &worker.registry.metrics;
+    metrics.obs.record_since(&metrics.join_latency, start);
 
     match (result_a, result_b) {
         (Ok(ra), BranchResult::Ok(rb)) => (ra, rb),
@@ -330,13 +369,21 @@ where
             }
             // A job forked more recently than ours (LIFO order): execute it;
             // `JobRef::execute` contains panics in the job's result slot.
-            Some(other) => other.execute(),
+            Some(other) => {
+                let m = &worker.registry.metrics;
+                m.obs.hit(&m.workers[worker.index].jobs_executed);
+                other.execute();
+            }
             None => {
                 // Our job was stolen.  Help with other work rather than
                 // spinning; if the whole pool is quiet just yield until the
                 // thief finishes.
                 match worker.registry.steal_work(worker.index) {
-                    Some(stolen) => stolen.execute(),
+                    Some(stolen) => {
+                        let m = &worker.registry.metrics;
+                        m.obs.hit(&m.workers[worker.index].jobs_executed);
+                        stolen.execute();
+                    }
                     None => thread::yield_now(),
                 }
             }

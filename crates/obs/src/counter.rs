@@ -1,0 +1,111 @@
+//! The monotone event counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone event counter: one relaxed `AtomicU64`.
+///
+/// Two write disciplines, chosen per call site:
+///
+/// * [`Counter::inc`]/[`Counter::add`] — a relaxed `fetch_add`, safe for
+///   any number of concurrent writers.  No increments are ever lost.
+/// * [`Counter::add_single_writer`] — plain load + store, for counters
+///   owned by exactly one writer at a time (a combiner holding its flag, a
+///   deque's owning worker).  Cheaper than an RMW on contended cache lines,
+///   and the `Release` store lets a reader's `Acquire` load
+///   ([`Counter::get_acquire`]) order this counter against the writer's
+///   earlier stores — the mechanism behind `combine`'s `ops >= rounds`
+///   snapshot invariant.
+///
+/// Reads ([`Counter::get`]) are relaxed: exact once the writers are
+/// quiescent, momentarily stale while they run.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Counter {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one (relaxed RMW; any number of concurrent writers).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (relaxed RMW; any number of concurrent writers).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` with a plain load + `Release` store.
+    ///
+    /// # Contract
+    ///
+    /// At most one thread may call this (or any other write) at a time —
+    /// increments race and get lost otherwise.  The typical owner is a
+    /// thread holding an exclusive flag; the flag's release/acquire edge
+    /// hands the write position to the next owner.
+    #[inline]
+    pub fn add_single_writer(&self, n: u64) {
+        let v = self.value.load(Ordering::Relaxed);
+        self.value.store(v + n, Ordering::Release);
+    }
+
+    /// Current value (relaxed; exact when writers are quiescent).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Current value with `Acquire`, ordering everything the writer stored
+    /// before its `Release` write of this counter.
+    #[inline]
+    pub fn get_acquire(&self) -> u64 {
+        self.value.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn sequential_counting() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        c.add_single_writer(5);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.get_acquire(), 10);
+        assert_eq!(Counter::default().get(), 0);
+    }
+
+    #[test]
+    fn concurrent_rmw_adds_lose_nothing() {
+        let c = Arc::new(Counter::new());
+        let threads = 4;
+        let per = 50_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    for _ in 0..per {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), threads * per);
+    }
+}

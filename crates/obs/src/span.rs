@@ -1,0 +1,237 @@
+//! Span-style tracing into a bounded ring buffer.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One completed span: a labelled begin/end pair with an op count,
+/// timestamped in nanoseconds relative to its ring's epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Monotone sequence number (counts every span ever recorded, including
+    /// ones the ring has since dropped).
+    pub seq: u64,
+    /// What the span covers (e.g. `"round"`).
+    pub label: &'static str,
+    /// How many operations the span covered.
+    pub ops: u64,
+    /// Span start, nanoseconds since the ring was created.
+    pub start_ns: u64,
+    /// Span end, nanoseconds since the ring was created.
+    pub end_ns: u64,
+}
+
+struct RingInner {
+    spans: VecDeque<SpanRecord>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A bounded ring buffer of [`SpanRecord`]s.
+///
+/// Begin a span with [`TraceRing::span`] (or the [`trace_round`]
+/// convenience wrapper); the returned guard records one entry when
+/// dropped.  When the ring is full the oldest record is evicted and
+/// counted in [`TraceRing::dropped`] — tracing is a bounded-memory
+/// diagnostic, never an unbounded log.
+///
+/// Recording takes a mutex, so this is for *round*-grained events
+/// (hundreds of ns of work or more), not per-operation hot paths — the
+/// per-op story is [`Counter`](crate::Counter) and
+/// [`Histogram`](crate::Histogram).
+#[derive(Debug)]
+pub struct TraceRing {
+    epoch: Instant,
+    capacity: usize,
+    inner: Mutex<RingInner>,
+}
+
+impl std::fmt::Debug for RingInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingInner")
+            .field("len", &self.spans.len())
+            .field("next_seq", &self.next_seq)
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` spans (minimum 1).
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            inner: Mutex::new(RingInner {
+                spans: VecDeque::new(),
+                next_seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Begins a span; the returned guard records it when dropped.
+    pub fn span(&self, label: &'static str, ops: u64) -> Span<'_> {
+        Span {
+            ring: self,
+            label,
+            ops,
+            start: Instant::now(),
+        }
+    }
+
+    /// Number of spans currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().spans.len()
+    }
+
+    /// Whether no spans are currently held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of spans evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// Drains and returns the held spans, oldest first.  Sequence numbers
+    /// and the dropped count are *not* reset: `seq` stays a global order
+    /// across drains.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        self.inner.lock().unwrap().spans.drain(..).collect()
+    }
+
+    /// Renders the held spans (without draining) as a JSON object with the
+    /// dropped count.
+    pub fn to_json(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut spans = String::new();
+        for (i, s) in inner.spans.iter().enumerate() {
+            if i > 0 {
+                spans.push_str(", ");
+            }
+            spans.push_str(&format!(
+                "{{\"seq\": {}, \"label\": \"{}\", \"ops\": {}, \"start_ns\": {}, \"end_ns\": {}}}",
+                s.seq, s.label, s.ops, s.start_ns, s.end_ns
+            ));
+        }
+        format!("{{\"dropped\": {}, \"spans\": [{spans}]}}", inner.dropped)
+    }
+
+    fn push(&self, label: &'static str, ops: u64, start: Instant, end: Instant) {
+        let since = |t: Instant| {
+            t.saturating_duration_since(self.epoch)
+                .as_nanos()
+                .min(u128::from(u64::MAX)) as u64
+        };
+        let mut inner = self.inner.lock().unwrap();
+        if inner.spans.len() == self.capacity {
+            inner.spans.pop_front();
+            inner.dropped += 1;
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.spans.push_back(SpanRecord {
+            seq,
+            label,
+            ops,
+            start_ns: since(start),
+            end_ns: since(end),
+        });
+    }
+}
+
+/// An in-flight span; records into its ring when dropped.
+#[must_use = "a span records on drop; binding it to _ ends it immediately"]
+pub struct Span<'a> {
+    ring: &'a TraceRing,
+    label: &'static str,
+    ops: u64,
+    start: Instant,
+}
+
+impl Span<'_> {
+    /// Updates the span's op count (e.g. once the round has been drained
+    /// and counted).
+    pub fn set_ops(&mut self, ops: u64) {
+        self.ops = ops;
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.ring
+            .push(self.label, self.ops, self.start, Instant::now());
+    }
+}
+
+/// Begins a combiner-round span covering `ops` operations: round begin is
+/// now, round end is when the returned guard drops.
+pub fn trace_round(ring: &TraceRing, ops: u64) -> Span<'_> {
+    ring.span("round", ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_label_ops_and_order() {
+        let ring = TraceRing::new(8);
+        {
+            let _a = trace_round(&ring, 3);
+        }
+        {
+            let _b = ring.span("flush", 1);
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 0);
+        let spans = ring.take();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].label, "round");
+        assert_eq!(spans[0].ops, 3);
+        assert_eq!(spans[0].seq, 0);
+        assert_eq!(spans[1].label, "flush");
+        assert_eq!(spans[1].seq, 1);
+        assert!(spans[0].end_ns >= spans[0].start_ns);
+        // Drained.
+        assert!(ring.is_empty());
+        assert!(ring.take().is_empty());
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let ring = TraceRing::new(2);
+        for i in 0..5u64 {
+            let mut s = trace_round(&ring, 0);
+            s.set_ops(i);
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 3);
+        let spans = ring.take();
+        // The two newest survive, with global sequence numbers.
+        assert_eq!(spans[0].ops, 3);
+        assert_eq!(spans[0].seq, 3);
+        assert_eq!(spans[1].ops, 4);
+        assert_eq!(spans[1].seq, 4);
+    }
+
+    #[test]
+    fn json_renders_spans_and_drop_count() {
+        let ring = TraceRing::new(1);
+        drop(trace_round(&ring, 7));
+        drop(trace_round(&ring, 9));
+        let json = ring.to_json();
+        assert!(json.contains("\"dropped\": 1"), "{json}");
+        assert!(json.contains("\"ops\": 9"), "{json}");
+        assert!(!json.contains("\"ops\": 7"), "{json}");
+        // Rendering does not drain.
+        assert_eq!(ring.len(), 1);
+        // Zero capacity clamps to one.
+        assert_eq!(
+            TraceRing::new(0).to_json(),
+            "{\"dropped\": 0, \"spans\": []}"
+        );
+    }
+}

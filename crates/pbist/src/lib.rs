@@ -28,10 +28,12 @@
 
 #![warn(missing_docs)]
 
+mod metrics;
 pub mod node;
 mod traverse;
 pub mod tree;
 mod update;
 
+pub use metrics::IstMetricsSnapshot;
 pub use node::InterpolateKey;
 pub use tree::IstSet;

@@ -11,6 +11,7 @@
 
 use std::mem::MaybeUninit;
 
+use crate::metrics::{touch_node, MetricsRef};
 use crate::node::{InterpolateKey, Node};
 use crate::tree::leaf_contains;
 
@@ -43,11 +44,20 @@ type QueryTask<'a, K> = (&'a Node<K>, &'a [K], &'a mut [MaybeUninit<bool>]);
 
 /// Answers `batch` (sorted, strictly increasing) against the subtree at
 /// `node`, writing one membership flag per query into `out` (same order).
-pub(crate) fn batch_contains_into<K>(node: &Node<K>, batch: &[K], out: &mut [MaybeUninit<bool>])
-where
+///
+/// `m` counts each node entered **once per traversal**, not once per
+/// query routed through it — exactly the sharing the joint traversal buys
+/// over per-query descents.
+pub(crate) fn batch_contains_into<K>(
+    node: &Node<K>,
+    batch: &[K],
+    out: &mut [MaybeUninit<bool>],
+    m: MetricsRef<'_>,
+) where
     K: InterpolateKey + Clone + Send + Sync,
 {
     debug_assert_eq!(batch.len(), out.len());
+    touch_node(m);
     match node {
         Node::Leaf(leaf) => {
             for (q, slot) in batch.iter().zip(out.iter_mut()) {
@@ -71,14 +81,14 @@ where
             }
             if batch.len() <= SEQ_BATCH_LEN {
                 for (child, batch_seg, out_seg) in tasks.iter_mut() {
-                    batch_contains_into(child, batch_seg, out_seg);
+                    batch_contains_into(child, batch_seg, out_seg, m);
                 }
             } else {
                 // Fork per child: each task is a whole sub-traversal, so the
                 // element-count heuristic would be wrong here (see
                 // `parprim::map_with_grain`).
                 parprim::for_each_mut_with_grain(&mut tasks, 1, |(child, batch_seg, out_seg)| {
-                    batch_contains_into(child, batch_seg, out_seg);
+                    batch_contains_into(child, batch_seg, out_seg, m);
                 });
             }
         }

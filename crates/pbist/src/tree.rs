@@ -1,8 +1,11 @@
 //! The interpolation search tree set: bulk construction, lookups, and the
 //! batched-operations interface.
 
+use std::sync::Arc;
+
 use batchapi::{Batch, BatchedSet};
 
+use crate::metrics::{metrics_ref, touch_node, IstMetrics, IstMetricsSnapshot, MetricsRef};
 use crate::node::{
     interpolate_slot, InnerNode, InterpolateKey, LeafNode, Node, LEAF_CAPACITY, MAX_FANOUT,
 };
@@ -35,6 +38,42 @@ use crate::{traverse, update};
 #[derive(Debug, Clone)]
 pub struct IstSet<K> {
     root: Option<Node<K>>,
+    /// Gates metric recording; the recursion carries `None` when disabled,
+    /// so the default configuration pays one branch per instrumented site.
+    obs: obs::Obs,
+    /// Work counters.  `Clone` shares the `Arc`, so clones of one set
+    /// report into the same counters — callers that benchmark clones use
+    /// [`IstMetricsSnapshot::delta`] windows.
+    metrics: Arc<IstMetrics>,
+}
+
+impl<K> IstSet<K> {
+    fn with_root(root: Option<Node<K>>) -> IstSet<K> {
+        IstSet {
+            root,
+            obs: obs::Obs::disabled(),
+            metrics: Arc::new(IstMetrics::default()),
+        }
+    }
+
+    /// Turns work-counter collection on or off ([`IstSet::metrics`]).  Off
+    /// by default: disabled, every instrumented site is one predictable
+    /// branch (the workspace's bench harness asserts < 2 ns/op).
+    pub fn with_metrics(mut self, enabled: bool) -> IstSet<K> {
+        self.obs = obs::Obs::new(enabled);
+        self
+    }
+
+    /// Snapshot of the set's work counters: nodes touched, leaves edited,
+    /// rebuild count and keys.  All zero unless the set was configured with
+    /// [`IstSet::with_metrics`].
+    pub fn metrics(&self) -> IstMetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    fn obs_metrics(&self) -> MetricsRef<'_> {
+        metrics_ref(self.obs, &self.metrics)
+    }
 }
 
 impl<K: InterpolateKey + Clone + Send + Sync> IstSet<K> {
@@ -46,11 +85,9 @@ impl<K: InterpolateKey + Clone + Send + Sync> IstSet<K> {
             "keys must be strictly increasing"
         );
         if keys.is_empty() {
-            return IstSet { root: None };
+            return IstSet::with_root(None);
         }
-        IstSet {
-            root: Some(build(&keys)),
-        }
+        IstSet::with_root(Some(build(&keys)))
     }
 
     /// Builds a tree from arbitrary keys; sorts (unstable — keys are plain
@@ -66,11 +103,9 @@ impl<K: InterpolateKey + Clone + Send + Sync> IstSet<K> {
     /// deduplicated by construction, so no copy or re-check is needed).
     pub fn from_batch(batch: &Batch<K>) -> IstSet<K> {
         if batch.is_empty() {
-            return IstSet { root: None };
+            return IstSet::with_root(None);
         }
-        IstSet {
-            root: Some(build(batch.as_slice())),
-        }
+        IstSet::with_root(Some(build(batch.as_slice())))
     }
 
     /// Number of keys in the set.
@@ -95,11 +130,13 @@ impl<K: InterpolateKey + Clone + Send + Sync> IstSet<K> {
 
     /// Returns `true` when `key` is present, descending by interpolation.
     pub fn contains(&self, key: &K) -> bool {
+        let m = self.obs_metrics();
         let mut node = match &self.root {
             Some(root) => root,
             None => return false,
         };
         loop {
+            touch_node(m);
             match node {
                 Node::Leaf(leaf) => return leaf_contains(&leaf.keys, key),
                 Node::Inner(inner) => {
@@ -112,12 +149,14 @@ impl<K: InterpolateKey + Clone + Send + Sync> IstSet<K> {
     /// Number of keys strictly smaller than `key`: the interpolated descent
     /// plus the sizes of the subtrees it passes on its left.
     pub fn rank(&self, key: &K) -> usize {
+        let m = self.obs_metrics();
         let mut node = match &self.root {
             Some(root) => root,
             None => return 0,
         };
         let mut before = 0;
         loop {
+            touch_node(m);
             match node {
                 Node::Leaf(leaf) => return before + leaf.keys.partition_point(|k| k < key),
                 Node::Inner(inner) => {
@@ -214,6 +253,7 @@ impl<K: InterpolateKey + Clone + Send + Sync> BatchedSet<K> for IstSet<K> {
             root,
             batch.as_slice(),
             &mut out.spare_capacity_mut()[..batch.len()],
+            self.obs_metrics(),
         );
         // SAFETY: the traversal writes every one of the first `batch.len()`
         // slots exactly once (children cover disjoint batch segments).
@@ -236,8 +276,9 @@ impl<K: InterpolateKey + Clone + Send + Sync> BatchedSet<K> for IstSet<K> {
         // Tiny batches: a loop of in-place point inserts is equivalent to
         // the batch recursion (sorted distinct keys, applied in order) and
         // allocation-free.
+        let m = metrics_ref(self.obs, &self.metrics);
         if batch.len() <= update::POINT_BATCH_LEN {
-            out.extend(batch.iter().map(|q| update::insert_one(root, q)));
+            out.extend(batch.iter().map(|q| update::insert_one(root, q, m)));
             return;
         }
         out.reserve(batch.len());
@@ -245,6 +286,7 @@ impl<K: InterpolateKey + Clone + Send + Sync> BatchedSet<K> for IstSet<K> {
             root,
             batch.as_slice(),
             &mut out.spare_capacity_mut()[..batch.len()],
+            m,
         );
         // SAFETY: as in `batch_contains_report` — every flag slot written once.
         unsafe { out.set_len(batch.len()) };
@@ -262,14 +304,16 @@ impl<K: InterpolateKey + Clone + Send + Sync> BatchedSet<K> for IstSet<K> {
                 return;
             }
         };
+        let m = metrics_ref(self.obs, &self.metrics);
         if batch.len() <= update::POINT_BATCH_LEN {
-            out.extend(batch.iter().map(|q| update::remove_one(root, q)));
+            out.extend(batch.iter().map(|q| update::remove_one(root, q, m)));
         } else {
             out.reserve(batch.len());
             update::remove_from(
                 root,
                 batch.as_slice(),
                 &mut out.spare_capacity_mut()[..batch.len()],
+                m,
             );
             // SAFETY: as in `batch_contains_report` — every flag slot
             // written once.
@@ -281,8 +325,9 @@ impl<K: InterpolateKey + Clone + Send + Sync> BatchedSet<K> for IstSet<K> {
     }
 
     fn insert_one(&mut self, key: &K) -> bool {
+        let m = metrics_ref(self.obs, &self.metrics);
         match &mut self.root {
-            Some(root) => update::insert_one(root, key),
+            Some(root) => update::insert_one(root, key, m),
             None => {
                 self.root = Some(Node::Leaf(LeafNode {
                     keys: vec![key.clone()],
@@ -293,11 +338,12 @@ impl<K: InterpolateKey + Clone + Send + Sync> BatchedSet<K> for IstSet<K> {
     }
 
     fn remove_one(&mut self, key: &K) -> bool {
+        let m = metrics_ref(self.obs, &self.metrics);
         let root = match &mut self.root {
             Some(root) => root,
             None => return false,
         };
-        let removed = update::remove_one(root, key);
+        let removed = update::remove_one(root, key, m);
         if root.is_empty() {
             self.root = None;
         }
@@ -632,6 +678,93 @@ mod tests {
         assert!(!set.insert_one(&77));
         assert!(set.contains(&77));
         assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn metrics_disabled_by_default() {
+        let mut set = IstSet::from_sorted((0..50_000u64).collect());
+        assert!(set.contains(&7));
+        set.batch_insert(&Batch::from_unsorted((50_000..60_000u64).collect()));
+        set.batch_contains(&Batch::from_unsorted((0..5_000u64).collect()));
+        assert_eq!(set.metrics(), crate::IstMetricsSnapshot::default());
+    }
+
+    #[test]
+    fn metrics_count_touches_edits_and_rebuilds() {
+        let mut set =
+            IstSet::from_sorted((0..50_000u64).map(|i| i * 2).collect()).with_metrics(true);
+
+        // A joint traversal touches each visited node once, not once per
+        // query — far fewer touches than point descents for a large batch.
+        let queries = Batch::from_unsorted((0..10_000u64).map(|i| i * 3).collect());
+        let before = set.metrics();
+        set.batch_contains(&queries);
+        let joint = set.metrics().delta(&before);
+        assert!(joint.nodes_touched > 0);
+        assert_eq!(joint.leaves_edited, 0, "lookups edit nothing");
+        let before = set.metrics();
+        for q in queries.iter() {
+            set.contains(q);
+        }
+        let pointwise = set.metrics().delta(&before);
+        assert!(
+            joint.nodes_touched < pointwise.nodes_touched,
+            "joint {} vs pointwise {}",
+            joint.nodes_touched,
+            pointwise.nodes_touched
+        );
+
+        // Tripling the key count drifts sizes strictly past the rebuild
+        // factor (exactly 2x would not: the check is strict).
+        let before = set.metrics();
+        set.batch_insert(&Batch::from_unsorted(
+            (0..100_000u64).map(|i| i * 2 + 1).collect(),
+        ));
+        let grown = set.metrics().delta(&before);
+        assert!(grown.leaves_edited > 0);
+        assert!(grown.rebuilds > 0);
+        assert!(
+            grown.rebuild_keys >= grown.rebuilds,
+            "rebuilds are non-empty"
+        );
+
+        // Removing everything counts edits on the same leaves.
+        let before = set.metrics();
+        set.batch_remove(&Batch::from_unsorted((0..200_000u64).collect()));
+        assert!(set.is_empty());
+        assert!(set.metrics().delta(&before).leaves_edited > 0);
+    }
+
+    #[test]
+    fn metrics_cover_the_point_paths() {
+        let mut set =
+            IstSet::from_sorted((0..5_000u64).map(|i| i * 2).collect()).with_metrics(true);
+        let before = set.metrics();
+        assert!(set.insert_one(&1));
+        let d = set.metrics().delta(&before);
+        assert!(d.nodes_touched > 0);
+        assert_eq!(d.leaves_edited, 1);
+        let before = set.metrics();
+        assert!(!set.remove_one(&3));
+        let d = set.metrics().delta(&before);
+        assert!(d.nodes_touched > 0);
+        assert_eq!(d.leaves_edited, 0, "a miss edits nothing");
+        // Tiny batches route through the point ops and still count.
+        let before = set.metrics();
+        set.batch_insert(&Batch::from_unsorted(vec![3, 5]));
+        assert_eq!(set.metrics().delta(&before).leaves_edited, 2);
+    }
+
+    #[test]
+    fn clones_share_metrics() {
+        let set = IstSet::from_sorted((0..20_000u64).collect()).with_metrics(true);
+        let clone = set.clone();
+        let before = set.metrics();
+        clone.batch_contains(&Batch::from_unsorted((0..5_000u64).collect()));
+        assert!(
+            set.metrics().delta(&before).nodes_touched > 0,
+            "a clone's work lands in the original's counters"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use std::mem::MaybeUninit;
 
+use crate::metrics::{touch_leaf_edit, touch_node, touch_rebuild, MetricsRef};
 use crate::node::{InnerNode, InterpolateKey, LeafNode, Node, LEAF_CAPACITY};
 use crate::traverse::{partition_batch, SEQ_BATCH_LEN};
 use crate::tree::{build, child_index};
@@ -51,16 +52,22 @@ pub(crate) fn insert_into<K>(
     node: &mut Node<K>,
     batch: &[K],
     out: &mut [MaybeUninit<bool>],
+    m: MetricsRef<'_>,
 ) -> usize
 where
     K: InterpolateKey + Clone + Send + Sync,
 {
     debug_assert_eq!(batch.len(), out.len());
     debug_assert!(!batch.is_empty());
+    touch_node(m);
     let added = match node {
-        Node::Leaf(leaf) => insert_into_leaf(leaf, batch, out),
+        Node::Leaf(leaf) => {
+            let added = insert_into_leaf(leaf, batch, out);
+            touch_leaf_edit(m, added > 0);
+            added
+        }
         Node::Inner(inner) => {
-            let added = for_each_child_batch(inner, batch, out, insert_into);
+            let added = for_each_child_batch(inner, batch, out, |n, b, o| insert_into(n, b, o, m));
             inner.len += added;
             if added > 0 {
                 refresh_metadata(inner);
@@ -68,7 +75,7 @@ where
             added
         }
     };
-    maybe_rebuild(node);
+    maybe_rebuild(node, m);
     added
 }
 
@@ -82,16 +89,23 @@ pub(crate) fn remove_from<K>(
     node: &mut Node<K>,
     batch: &[K],
     out: &mut [MaybeUninit<bool>],
+    m: MetricsRef<'_>,
 ) -> usize
 where
     K: InterpolateKey + Clone + Send + Sync,
 {
     debug_assert_eq!(batch.len(), out.len());
     debug_assert!(!batch.is_empty());
+    touch_node(m);
     let removed = match node {
-        Node::Leaf(leaf) => remove_from_leaf(leaf, batch, out),
+        Node::Leaf(leaf) => {
+            let removed = remove_from_leaf(leaf, batch, out);
+            touch_leaf_edit(m, removed > 0);
+            removed
+        }
         Node::Inner(inner) => {
-            let removed = for_each_child_batch(inner, batch, out, remove_from);
+            let removed =
+                for_each_child_batch(inner, batch, out, |n, b, o| remove_from(n, b, o, m));
             inner.len -= removed;
             if removed > 0 {
                 inner.children.retain(|c| !c.is_empty());
@@ -113,7 +127,7 @@ where
             };
         }
     }
-    maybe_rebuild(node);
+    maybe_rebuild(node, m);
     removed
 }
 
@@ -129,21 +143,23 @@ where
 /// picks child `i` because `routers[i-1] <= key`, and `routers[i-1]` *is*
 /// child `i`'s minimum, so a newly inserted key can never become the
 /// minimum of any child except child 0 — whose minimum no router records.
-pub(crate) fn insert_one<K>(node: &mut Node<K>, key: &K) -> bool
+pub(crate) fn insert_one<K>(node: &mut Node<K>, key: &K, m: MetricsRef<'_>) -> bool
 where
     K: InterpolateKey + Clone + Send + Sync,
 {
+    touch_node(m);
     let added = match node {
         Node::Leaf(leaf) => match leaf.keys.binary_search(key) {
             Ok(_) => false,
             Err(pos) => {
                 leaf.keys.insert(pos, key.clone());
+                touch_leaf_edit(m, true);
                 true
             }
         },
         Node::Inner(inner) => {
             let idx = child_index(inner, key);
-            let added = insert_one(&mut inner.children[idx], key);
+            let added = insert_one(&mut inner.children[idx], key, m);
             if added {
                 inner.len += 1;
                 if *key < inner.min {
@@ -156,7 +172,7 @@ where
             added
         }
     };
-    maybe_rebuild(node);
+    maybe_rebuild(node, m);
     added
 }
 
@@ -165,21 +181,23 @@ where
 /// `true` iff the key was present.  May leave `node` as an **empty leaf**
 /// when it held exactly this key; callers prune it (as with
 /// [`remove_from`]).
-pub(crate) fn remove_one<K>(node: &mut Node<K>, key: &K) -> bool
+pub(crate) fn remove_one<K>(node: &mut Node<K>, key: &K, m: MetricsRef<'_>) -> bool
 where
     K: InterpolateKey + Clone + Send + Sync,
 {
+    touch_node(m);
     let removed = match node {
         Node::Leaf(leaf) => match leaf.keys.binary_search(key) {
             Ok(pos) => {
                 leaf.keys.remove(pos);
+                touch_leaf_edit(m, true);
                 true
             }
             Err(_) => false,
         },
         Node::Inner(inner) => {
             let idx = child_index(inner, key);
-            let removed = remove_one(&mut inner.children[idx], key);
+            let removed = remove_one(&mut inner.children[idx], key, m);
             if removed {
                 inner.len -= 1;
                 if inner.children[idx].is_empty() {
@@ -222,7 +240,7 @@ where
             };
         }
     }
-    maybe_rebuild(node);
+    maybe_rebuild(node, m);
     removed
 }
 
@@ -331,7 +349,7 @@ fn refresh_metadata<K: Ord + Clone>(inner: &mut InnerNode<K>) {
 /// Rebuilds the subtree at `node` from its sorted keys when its size has
 /// drifted past the rebuild threshold (or a leaf outgrew its capacity),
 /// restoring the ideal `Θ(√n)`-fanout shape.
-fn maybe_rebuild<K>(node: &mut Node<K>)
+fn maybe_rebuild<K>(node: &mut Node<K>, m: MetricsRef<'_>)
 where
     K: InterpolateKey + Clone + Send + Sync,
 {
@@ -343,6 +361,7 @@ where
         }
     };
     if drifted {
+        touch_rebuild(m, node.len());
         *node = build(&collect_keys(node));
     }
 }

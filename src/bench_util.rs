@@ -1,0 +1,184 @@
+//! Shared helpers for the `bench_*` binaries: timing loops, the
+//! multi-client wall-clock driver, metric-snapshot JSON rendering, and the
+//! disabled-instrumentation overhead check.
+//!
+//! Every bench used to carry private copies of these; they live here once
+//! so the three emitters stay byte-for-byte consistent about how a
+//! measurement is taken and how a metrics block is embedded in
+//! `BENCH_*.json`.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Instant;
+
+use forkjoin::PoolMetrics;
+use workloads::ClientTrace;
+
+/// Milliseconds elapsed since `start`.
+pub fn elapsed_ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Runs `f` `reps` times, returning each repetition's wall time in
+/// milliseconds.  Feed the result to [`min_of`] / [`mean_of`].
+pub fn time_reps(reps: usize, mut f: impl FnMut()) -> Vec<f64> {
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            elapsed_ms(start)
+        })
+        .collect()
+}
+
+/// Minimum of a non-empty sample (the bench's headline number: least
+/// interference).
+pub fn min_of(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum of a non-empty sample (the headline number for throughput
+/// measurements, where bigger is better).
+pub fn max_of(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Arithmetic mean of a non-empty sample.
+pub fn mean_of(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Spawns one thread per trace, releases them together through a barrier,
+/// and reports the wall-clock span from the first client's start to the
+/// last client's finish.  Clients time themselves (returning their own
+/// start/end instants) because an outside observer's clock can start late:
+/// on a loaded or single-core machine the observer may be descheduled
+/// through the barrier wakeup while the clients run — and even finish.
+pub fn drive_clients<F, G>(traces: &[ClientTrace], mut client: F) -> f64
+where
+    F: FnMut(ClientTrace, Arc<Barrier>) -> G,
+    G: FnOnce() -> (Instant, Instant) + Send + 'static,
+{
+    let barrier = Arc::new(Barrier::new(traces.len()));
+    let handles: Vec<_> = traces
+        .iter()
+        .map(|trace| thread::spawn(client(trace.clone(), Arc::clone(&barrier))))
+        .collect();
+    let spans: Vec<(Instant, Instant)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let start = spans
+        .iter()
+        .map(|s| s.0)
+        .min()
+        .expect("at least one client");
+    let end = spans
+        .iter()
+        .map(|s| s.1)
+        .max()
+        .expect("at least one client");
+    (end - start).as_secs_f64()
+}
+
+/// Ceiling, in ns/op, that a disabled [`obs::Obs`] guard may add to a hot
+/// loop (the observability layer's documented overhead contract).
+pub const DISABLED_OVERHEAD_CEILING_NS: f64 = 2.0;
+
+/// Measures the disabled-guard overhead and, in release builds, panics if
+/// it reaches [`DISABLED_OVERHEAD_CEILING_NS`].  Returns the measured
+/// ns/op (clamped at zero: timer jitter can make the raw difference
+/// slightly negative).  Debug builds only measure — an unoptimised branch
+/// is not the artefact the contract covers.
+pub fn assert_disabled_overhead() -> f64 {
+    let ns = obs::measure_disabled_overhead(2_000_000, 5).max(0.0);
+    if !cfg!(debug_assertions) {
+        assert!(
+            ns < DISABLED_OVERHEAD_CEILING_NS,
+            "disabled-instrumentation overhead {ns:.3} ns/op breaches the \
+             {DISABLED_OVERHEAD_CEILING_NS} ns/op contract"
+        );
+    }
+    ns
+}
+
+/// Renders a [`PoolMetrics`] snapshot as a JSON object: pool-wide totals,
+/// the per-worker counter rows, and the join-latency histogram.
+pub fn pool_metrics_json(m: &PoolMetrics) -> String {
+    let totals = m.totals();
+    let mut json = String::new();
+    json.push_str(&format!(
+        "{{\"enabled\": {}, \"totals\": {{\"steal_success\": {}, \"steal_empty\": {}, \
+         \"sleeps\": {}, \"wakes\": {}, \"jobs_executed\": {}}}, \"workers\": [",
+        m.enabled,
+        totals.steal_success,
+        totals.steal_empty,
+        totals.sleeps,
+        totals.wakes,
+        totals.jobs_executed
+    ));
+    for (i, w) in m.workers.iter().enumerate() {
+        json.push_str(&format!(
+            "{}{{\"steal_success\": {}, \"steal_empty\": {}, \"sleeps\": {}, \
+             \"wakes\": {}, \"jobs_executed\": {}}}",
+            if i > 0 { ", " } else { "" },
+            w.steal_success,
+            w.steal_empty,
+            w.sleeps,
+            w.wakes,
+            w.jobs_executed
+        ));
+    }
+    json.push_str(&format!(
+        "], \"join_latency_ns\": {}}}",
+        m.join_latency.to_json()
+    ));
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_helpers_agree_on_simple_samples() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(min_of(&xs), 1.0);
+        assert_eq!(max_of(&xs), 3.0);
+        assert_eq!(mean_of(&xs), 2.0);
+        let times = time_reps(4, || std::hint::black_box(()));
+        assert_eq!(times.len(), 4);
+        assert!(times.iter().all(|&t| t >= 0.0));
+    }
+
+    #[test]
+    fn drive_clients_spans_cover_all_threads() {
+        let traces = vec![vec![(workloads::OpKind::Contains, 1u64)]; 3];
+        let secs = drive_clients(&traces, |_trace, barrier| {
+            move || {
+                barrier.wait();
+                let start = Instant::now();
+                (start, Instant::now())
+            }
+        });
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn overhead_check_reports_a_finite_number() {
+        // Debug builds measure without asserting the release contract.
+        let ns = obs::measure_disabled_overhead(10_000, 2).max(0.0);
+        assert!(ns.is_finite());
+    }
+
+    #[test]
+    fn pool_metrics_json_embeds_totals_and_workers() {
+        let pool = forkjoin::Pool::builder()
+            .num_threads(1)
+            .metrics(true)
+            .build()
+            .unwrap();
+        pool.install(|| forkjoin::join(|| (), || ()));
+        let json = pool_metrics_json(&pool.metrics());
+        assert!(json.contains("\"enabled\": true"), "{json}");
+        assert!(json.contains("\"totals\""), "{json}");
+        assert!(json.contains("\"join_latency_ns\""), "{json}");
+    }
+}

@@ -12,6 +12,13 @@
 //!   the [`batchapi::BatchedSet`] trait, i.e. the workload whose speedups
 //!   `BENCH_pbist.json` records, re-measured on top of this scheduler.
 //!
+//! Timing runs on pools built **without** metrics (the default), so the
+//! numbers measure the scheduler, not its instrumentation; a separate
+//! telemetry pass re-runs each workload once on a metrics-enabled pool and
+//! embeds the steal/sleep/jobs counters and join-latency histogram in the
+//! JSON, alongside the measured disabled-instrumentation overhead (asserted
+//! under the 2 ns/op contract in release builds).
+//!
 //! Std-only (`std::time::Instant`), seeded workloads, fixed configuration —
 //! two runs on the same machine measure the same work.  Emits one line per
 //! measurement to stdout and writes the full result set to
@@ -23,10 +30,9 @@
 //! BENCH_FORKJOIN_QUICK=1 cargo run --release --bin bench_forkjoin
 //! ```
 
-use std::time::Instant;
-
 use pbist_repro::{
     batchapi::{Batch, BatchedSet},
+    bench_util::{assert_disabled_overhead, mean_of, min_of, pool_metrics_json, time_reps},
     forkjoin::{join, Pool},
     pbist::IstSet,
     workloads::{self, OpKind},
@@ -80,8 +86,13 @@ fn main() {
     let quick = std::env::var_os("BENCH_FORKJOIN_QUICK").is_some();
     let cfg = if quick { QUICK } else { FULL };
 
+    let overhead_ns = assert_disabled_overhead();
+    println!("disabled-instrumentation overhead: {overhead_ns:.3} ns/op");
+
     let mut results = Vec::new();
     for &threads in &[1usize, 2, 4] {
+        // Timing pools keep metrics off (the default): measure the
+        // scheduler, not the instrumentation.
         let pool = Pool::new(threads).expect("pool");
         results.push(bench_fib(&pool, &cfg));
         results.push(bench_tree(&pool, &cfg));
@@ -99,7 +110,35 @@ fn main() {
         );
     }
 
-    let json = render_json(&cfg, quick, &results);
+    // Telemetry pass: the same workloads, once each, on metrics-enabled
+    // pools.  Separate from the timing pass so the counters cost nothing
+    // in the numbers above.
+    let mut telemetry = Vec::new();
+    for &threads in &[1usize, 2, 4] {
+        let pool = Pool::builder()
+            .num_threads(threads)
+            .metrics(true)
+            .build()
+            .expect("metrics pool");
+        run_fib_once(&pool, &cfg);
+        run_tree_once(&pool, &cfg);
+        run_ist_ops_once(&pool, &cfg);
+        let metrics = pool.metrics();
+        let totals = metrics.totals();
+        assert!(totals.jobs_executed > 0, "telemetry pass executed no jobs");
+        println!(
+            "telemetry threads={threads}: jobs_executed {}  steal_success {}  steal_empty {}  \
+             sleeps {}  joins timed {}",
+            totals.jobs_executed,
+            totals.steal_success,
+            totals.steal_empty,
+            totals.sleeps,
+            metrics.join_latency.count()
+        );
+        telemetry.push((threads, pool_metrics_json(&metrics)));
+    }
+
+    let json = render_json(&cfg, quick, &results, overhead_ns, &telemetry);
     std::fs::write("BENCH_forkjoin.json", &json).expect("write BENCH_forkjoin.json");
     println!("wrote BENCH_forkjoin.json ({} measurements)", results.len());
 }
@@ -126,12 +165,13 @@ fn seq_fib(n: u64) -> u64 {
     a
 }
 
+fn run_fib_once(pool: &Pool, cfg: &Config) {
+    let got = pool.install(|| par_fib(cfg.fib_n));
+    assert_eq!(got, seq_fib(cfg.fib_n));
+}
+
 fn bench_fib(pool: &Pool, cfg: &Config) -> Measurement {
-    let expect = seq_fib(cfg.fib_n);
-    let times = time_reps(cfg.reps, || {
-        let got = pool.install(|| par_fib(cfg.fib_n));
-        assert_eq!(got, expect);
-    });
+    let times = time_reps(cfg.reps, || run_fib_once(pool, cfg));
     Measurement {
         workload: "fib",
         threads: pool.num_threads(),
@@ -150,12 +190,13 @@ fn tree_sum(depth: u32) -> u64 {
     a + b
 }
 
+fn run_tree_once(pool: &Pool, cfg: &Config) {
+    let got = pool.install(|| tree_sum(cfg.tree_depth));
+    assert_eq!(got, 1u64 << cfg.tree_depth);
+}
+
 fn bench_tree(pool: &Pool, cfg: &Config) -> Measurement {
-    let expect = 1u64 << cfg.tree_depth;
-    let times = time_reps(cfg.reps, || {
-        let got = pool.install(|| tree_sum(cfg.tree_depth));
-        assert_eq!(got, expect);
-    });
+    let times = time_reps(cfg.reps, || run_tree_once(pool, cfg));
     Measurement {
         workload: "tree",
         threads: pool.num_threads(),
@@ -165,8 +206,8 @@ fn bench_tree(pool: &Pool, cfg: &Config) -> Measurement {
     }
 }
 
-/// End-to-end batched-IST run: the scheduler's real consumer.
-fn bench_ist_ops(pool: &Pool, cfg: &Config) -> Measurement {
+/// One end-to-end batched-IST run: the scheduler's real consumer.
+fn run_ist_ops_once(pool: &Pool, cfg: &Config) {
     let key_range = 0..(cfg.ist_keys as u64 * 16);
     let base = workloads::uniform_keys_distinct(0x5EED, cfg.ist_keys, key_range.clone());
     let ops = workloads::mixed_op_batches(
@@ -176,26 +217,28 @@ fn bench_ist_ops(pool: &Pool, cfg: &Config) -> Measurement {
         key_range,
         (2, 1, 1),
     );
-    let times = time_reps(cfg.reps, || {
-        let mut set = pool.install(|| IstSet::from_unsorted(base.clone()));
-        pool.install(|| {
-            for op in &ops {
-                let batch = Batch::from_unsorted(op.keys.clone());
-                match op.kind {
-                    OpKind::Contains => {
-                        let hits = set.batch_contains(&batch);
-                        assert_eq!(hits.len(), batch.len());
-                    }
-                    OpKind::Insert => {
-                        set.batch_insert(&batch);
-                    }
-                    OpKind::Remove => {
-                        set.batch_remove(&batch);
-                    }
+    let mut set = pool.install(|| IstSet::from_unsorted(base));
+    pool.install(|| {
+        for op in &ops {
+            let batch = Batch::from_unsorted(op.keys.clone());
+            match op.kind {
+                OpKind::Contains => {
+                    let hits = set.batch_contains(&batch);
+                    assert_eq!(hits.len(), batch.len());
+                }
+                OpKind::Insert => {
+                    set.batch_insert(&batch);
+                }
+                OpKind::Remove => {
+                    set.batch_remove(&batch);
                 }
             }
-        });
+        }
     });
+}
+
+fn bench_ist_ops(pool: &Pool, cfg: &Config) -> Measurement {
+    let times = time_reps(cfg.reps, || run_ist_ops_once(pool, cfg));
     Measurement {
         workload: "ist_ops",
         threads: pool.num_threads(),
@@ -205,25 +248,13 @@ fn bench_ist_ops(pool: &Pool, cfg: &Config) -> Measurement {
     }
 }
 
-fn time_reps(reps: usize, mut f: impl FnMut()) -> Vec<f64> {
-    (0..reps)
-        .map(|_| {
-            let start = Instant::now();
-            f();
-            start.elapsed().as_secs_f64() * 1e3
-        })
-        .collect()
-}
-
-fn min_of(xs: &[f64]) -> f64 {
-    xs.iter().copied().fold(f64::INFINITY, f64::min)
-}
-
-fn mean_of(xs: &[f64]) -> f64 {
-    xs.iter().sum::<f64>() / xs.len() as f64
-}
-
-fn render_json(cfg: &Config, quick: bool, results: &[Measurement]) -> String {
+fn render_json(
+    cfg: &Config,
+    quick: bool,
+    results: &[Measurement],
+    overhead_ns: f64,
+    telemetry: &[(usize, String)],
+) -> String {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"forkjoin\",\n");
@@ -250,6 +281,18 @@ fn render_json(cfg: &Config, quick: bool, results: &[Measurement]) -> String {
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"metrics\": {\n");
+    json.push_str(&format!(
+        "    \"disabled_overhead_ns\": {overhead_ns:.4},\n"
+    ));
+    json.push_str("    \"pools\": [\n");
+    for (i, (threads, pool_json)) in telemetry.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"threads\": {threads}, \"pool\": {pool_json}}}{}\n",
+            if i + 1 < telemetry.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
     json
 }

@@ -2,6 +2,13 @@
 //! across key distributions and thread counts, through the shared
 //! [`batchapi::BatchedSet`] trait.
 //!
+//! Timing runs on trees built **without** metrics (the default); a separate
+//! telemetry pass replays each distribution's batches once on a
+//! metrics-enabled tree and embeds the nodes-touched / leaves-edited /
+//! rebuild counters in the JSON — the algorithmic work profile behind the
+//! wall-clock numbers — alongside the measured disabled-instrumentation
+//! overhead (asserted under the 2 ns/op contract in release builds).
+//!
 //! Std-only (`std::time::Instant`), seeded workloads, fixed configuration —
 //! two runs on the same machine measure the same work.  Emits one line per
 //! measurement to stdout and writes the full result set to
@@ -18,8 +25,9 @@ use std::time::Instant;
 use pbist_repro::{
     baselines::SortedArraySet,
     batchapi::{Batch, BatchedSet},
+    bench_util::{assert_disabled_overhead, elapsed_ms, mean_of, min_of},
     forkjoin::Pool,
-    pbist::IstSet,
+    pbist::{IstMetricsSnapshot, IstSet},
     workloads,
 };
 
@@ -52,6 +60,10 @@ const QUICK: Config = Config {
 /// Zipf exponent for the skewed distribution.
 const ZIPF_THETA: f64 = 0.9;
 
+/// Pool size for the telemetry pass (the counters are thread-count
+/// independent: a joint traversal touches each node once either way).
+const TELEMETRY_THREADS: usize = 4;
+
 struct Measurement {
     structure: &'static str,
     dist: &'static str,
@@ -61,11 +73,23 @@ struct Measurement {
     mean_ms: f64,
 }
 
+/// Per-distribution IST work profile from the telemetry pass: the metric
+/// delta attributable to each batched operation.
+struct IstTelemetry {
+    dist: &'static str,
+    contains: IstMetricsSnapshot,
+    insert: IstMetricsSnapshot,
+    remove: IstMetricsSnapshot,
+}
+
 fn main() {
     let quick = std::env::var_os("BENCH_PBIST_QUICK").is_some();
     let cfg = if quick { QUICK } else { FULL };
     let key_range = 0..cfg.key_range_end;
     let base_keys = workloads::uniform_keys_distinct(0x5EED, cfg.num_keys, key_range.clone());
+
+    let overhead_ns = assert_disabled_overhead();
+    println!("disabled-instrumentation overhead: {overhead_ns:.3} ns/op");
 
     // Query batches per distribution.  Zipf queries are drawn from the key
     // universe itself (hot-key reads); the uniform insert batch doubles as
@@ -93,6 +117,7 @@ fn main() {
             for structure in ["ist", "sorted_array"] {
                 let runs = match structure {
                     "ist" => {
+                        // Timing trees keep metrics off (the default).
                         let set = pool.install(|| IstSet::from_unsorted(base_keys.clone()));
                         bench_set(&pool, set, queries, &update_batch, cfg.reps)
                     }
@@ -120,7 +145,26 @@ fn main() {
         }
     }
 
-    let json = render_json(&cfg, quick, &results);
+    // Telemetry pass: replay each distribution's batches once on a
+    // metrics-enabled tree.  Separate from the timing loop so the counters
+    // cost nothing in the numbers above.
+    let pool = Pool::new(TELEMETRY_THREADS).expect("telemetry pool");
+    let telemetry: Vec<IstTelemetry> = [("uniform", &uniform_queries), ("zipf", &zipf_queries)]
+        .map(|(dist, queries)| {
+            let t = collect_ist_telemetry(&pool, &base_keys, dist, queries, &update_batch);
+            println!(
+                "telemetry {dist}: contains touched {} nodes, insert edited {} leaves, \
+                 remove rebuilt {} subtrees ({} keys)",
+                t.contains.nodes_touched,
+                t.insert.leaves_edited,
+                t.remove.rebuilds,
+                t.remove.rebuild_keys
+            );
+            t
+        })
+        .into();
+
+    let json = render_json(&cfg, quick, &results, overhead_ns, &telemetry);
     std::fs::write("BENCH_pbist.json", &json).expect("write BENCH_pbist.json");
     println!("wrote BENCH_pbist.json ({} measurements)", results.len());
 }
@@ -176,19 +220,56 @@ where
     out
 }
 
-fn elapsed_ms(start: Instant) -> f64 {
-    start.elapsed().as_secs_f64() * 1e3
+/// One metrics-enabled replay of a distribution's batches, attributing the
+/// counter deltas to the contains / insert / remove phases.
+fn collect_ist_telemetry(
+    pool: &Pool,
+    base_keys: &[u64],
+    dist: &'static str,
+    queries: &Batch<u64>,
+    updates: &Batch<u64>,
+) -> IstTelemetry {
+    let mut set = pool
+        .install(|| IstSet::from_unsorted(base_keys.to_vec()))
+        .with_metrics(true);
+    let before = set.metrics();
+    pool.install(|| {
+        let hits = set.batch_contains(queries);
+        assert_eq!(hits.len(), queries.len());
+    });
+    let after_contains = set.metrics();
+    pool.install(|| {
+        set.batch_insert(updates);
+    });
+    let after_insert = set.metrics();
+    pool.install(|| {
+        set.batch_remove(updates);
+    });
+    let after_remove = set.metrics();
+    let t = IstTelemetry {
+        dist,
+        contains: after_contains.delta(&before),
+        insert: after_insert.delta(&after_contains),
+        remove: after_remove.delta(&after_insert),
+    };
+    assert!(
+        t.contains.nodes_touched > 0,
+        "telemetry pass touched no nodes"
+    );
+    assert!(
+        t.insert.leaves_edited > 0,
+        "telemetry insert edited no leaves"
+    );
+    t
 }
 
-fn min_of(xs: &[f64]) -> f64 {
-    xs.iter().copied().fold(f64::INFINITY, f64::min)
-}
-
-fn mean_of(xs: &[f64]) -> f64 {
-    xs.iter().sum::<f64>() / xs.len() as f64
-}
-
-fn render_json(cfg: &Config, quick: bool, results: &[Measurement]) -> String {
+fn render_json(
+    cfg: &Config,
+    quick: bool,
+    results: &[Measurement],
+    overhead_ns: f64,
+    telemetry: &[IstTelemetry],
+) -> String {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"pbist\",\n");
@@ -209,6 +290,22 @@ fn render_json(cfg: &Config, quick: bool, results: &[Measurement]) -> String {
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"metrics\": {\n");
+    json.push_str(&format!(
+        "    \"disabled_overhead_ns\": {overhead_ns:.4},\n"
+    ));
+    json.push_str("    \"ist\": [\n");
+    for (i, t) in telemetry.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"dist\": \"{}\", \"contains\": {}, \"insert\": {}, \"remove\": {}}}{}\n",
+            t.dist,
+            t.contains.to_json(),
+            t.insert.to_json(),
+            t.remove.to_json(),
+            if i + 1 < telemetry.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
     json
 }

@@ -6,9 +6,19 @@
 //! This measures what the batched speedups in `BENCH_pbist.json` buy
 //! *end-to-end*: per-client operations coalesce into sorted batches inside
 //! the combiner, so the service should overtake the per-op mutex baseline
-//! once enough clients contend.  Deterministic (seeded per-client traces,
-//! fixed configuration), std-only timing; one line per measurement on
-//! stdout, full results in `BENCH_service.json`.
+//! once enough clients contend.
+//!
+//! Timed runs keep the scheduler's metrics off (the front-end's own
+//! registry counters replaced its `Stats` plumbing, so those are always
+//! on); a separate telemetry pass per configuration re-runs the combine
+//! service with pool metrics and the round-trace ring enabled, embedding
+//! the full registry snapshot, scheduler counters, and a trace summary in
+//! the JSON alongside the measured disabled-instrumentation overhead
+//! (asserted under the 2 ns/op contract in release builds).
+//!
+//! Deterministic (seeded per-client traces, fixed configuration), std-only
+//! timing; one line per measurement on stdout, full results in
+//! `BENCH_service.json`.
 //!
 //! ```sh
 //! cargo run --release --bin bench_service
@@ -17,11 +27,11 @@
 //! ```
 
 use std::collections::BTreeSet;
-use std::sync::{Arc, Barrier, Mutex};
-use std::thread;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use pbist_repro::{
+    bench_util::{assert_disabled_overhead, drive_clients, max_of, mean_of, pool_metrics_json},
     combine::{ConcurrentSet, Options},
     forkjoin::Pool,
     pbist::IstSet,
@@ -62,6 +72,8 @@ fn key_range(cfg: &Config) -> std::ops::Range<u64> {
 const ZIPF_THETA: f64 = 0.9;
 /// Workers in the combiner's fork-join pool.
 const POOL_THREADS: usize = 2;
+/// Round-trace ring capacity for the telemetry pass.
+const TRACE_CAPACITY: usize = 4096;
 
 struct Measurement {
     structure: &'static str,
@@ -73,14 +85,29 @@ struct Measurement {
     avg_round_ops: Option<f64>,
 }
 
+/// One configuration's instrumented combine run: the front-end registry
+/// snapshot, the pool's scheduler counters, and a round-trace summary.
+struct Telemetry {
+    dist: &'static str,
+    clients: usize,
+    combine_json: String,
+    pool_json: String,
+    trace_spans: usize,
+    trace_dropped: u64,
+}
+
 fn main() {
     let quick = std::env::var_os("BENCH_SERVICE_QUICK").is_some();
     let cfg = if quick { QUICK } else { FULL };
     let range = key_range(&cfg);
 
+    let overhead_ns = assert_disabled_overhead();
+    println!("disabled-instrumentation overhead: {overhead_ns:.3} ns/op");
+
     let prefill = workloads::uniform_keys_distinct(0x5EED, cfg.num_keys, range.clone());
 
     let mut results = Vec::new();
+    let mut telemetry = Vec::new();
     for &clients in &CLIENT_COUNTS {
         for dist in ["uniform", "zipf"] {
             // Fresh traces per (clients, dist): per-client seeds derive from
@@ -116,8 +143,8 @@ fn main() {
                     structure,
                     dist,
                     clients,
-                    best_ops_per_sec: runs.iter().copied().fold(0.0, f64::max),
-                    mean_ops_per_sec: runs.iter().sum::<f64>() / runs.len() as f64,
+                    best_ops_per_sec: max_of(&runs),
+                    mean_ops_per_sec: mean_of(&runs),
                     avg_round_ops: avg_round,
                 };
                 let round = m
@@ -130,10 +157,18 @@ fn main() {
                 );
                 results.push(m);
             }
+            // Telemetry pass: one untimed instrumented combine run over the
+            // same traces, separate so the timed numbers stay clean.
+            let t = run_combine_telemetry(&prefill, &traces, dist, clients);
+            println!(
+                "   telemetry {:>7} clients={}: {} trace spans ({} dropped)",
+                t.dist, t.clients, t.trace_spans, t.trace_dropped
+            );
+            telemetry.push(t);
         }
     }
 
-    let json = render_json(&cfg, quick, &results);
+    let json = render_json(&cfg, quick, &results, overhead_ns, &telemetry);
     std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
     println!("wrote BENCH_service.json ({} measurements)", results.len());
 }
@@ -168,6 +203,66 @@ fn run_combine(prefill: &[u64], traces: &[ClientTrace]) -> (f64, Option<f64>) {
     (secs, avg)
 }
 
+/// One *instrumented* combine run: pool metrics and the round-trace ring
+/// enabled, wall clock ignored.
+fn run_combine_telemetry(
+    prefill: &[u64],
+    traces: &[ClientTrace],
+    dist: &'static str,
+    clients: usize,
+) -> Telemetry {
+    let pool = Pool::builder()
+        .num_threads(POOL_THREADS)
+        .metrics(true)
+        .build()
+        .expect("metrics pool");
+    let backing = IstSet::from_unsorted(prefill.to_vec());
+    let set = Arc::new(ConcurrentSet::with_options(
+        backing,
+        pool,
+        Options {
+            trace_capacity: TRACE_CAPACITY,
+            ..Options::default()
+        },
+    ));
+    drive_clients(traces, |trace, barrier| {
+        let set = Arc::clone(&set);
+        move || {
+            barrier.wait();
+            let start = Instant::now();
+            for (kind, key) in trace {
+                match kind {
+                    OpKind::Insert => set.insert(key),
+                    OpKind::Remove => set.remove(&key),
+                    OpKind::Contains => set.contains(&key),
+                };
+            }
+            (start, Instant::now())
+        }
+    });
+    let snap = set.metrics();
+    let rounds = snap.counter("combine.rounds").unwrap_or(0);
+    assert!(rounds > 0, "telemetry pass committed no rounds");
+    let dropped = {
+        let spans = set.take_trace();
+        let total = traces.iter().map(|t| t.len() as u64).sum::<u64>();
+        assert!(!spans.is_empty(), "telemetry pass traced no rounds");
+        assert!(
+            spans.iter().map(|s| s.ops).sum::<u64>() <= total,
+            "trace ring recorded more ops than clients issued"
+        );
+        (rounds.saturating_sub(spans.len() as u64), spans.len())
+    };
+    Telemetry {
+        dist,
+        clients,
+        combine_json: snap.to_json(),
+        pool_json: pool_metrics_json(&set.pool_metrics()),
+        trace_spans: dropped.1,
+        trace_dropped: dropped.0,
+    }
+}
+
 /// One timed run of the per-operation coarse-lock baseline.
 fn run_mutex_btree(prefill: &[u64], traces: &[ClientTrace]) -> f64 {
     let set = Arc::new(Mutex::new(
@@ -191,37 +286,13 @@ fn run_mutex_btree(prefill: &[u64], traces: &[ClientTrace]) -> f64 {
     })
 }
 
-/// Spawns one thread per trace, releases them together through a barrier,
-/// and reports the wall-clock span from the first client's start to the
-/// last client's finish.  Clients time themselves (returning their own
-/// start/end instants) because an outside observer's clock can start late:
-/// on a loaded or single-core machine the observer may be descheduled
-/// through the barrier wakeup while the clients run — and even finish.
-fn drive_clients<F, G>(traces: &[ClientTrace], mut client: F) -> f64
-where
-    F: FnMut(ClientTrace, Arc<Barrier>) -> G,
-    G: FnOnce() -> (Instant, Instant) + Send + 'static,
-{
-    let barrier = Arc::new(Barrier::new(traces.len()));
-    let handles: Vec<_> = traces
-        .iter()
-        .map(|trace| thread::spawn(client(trace.clone(), Arc::clone(&barrier))))
-        .collect();
-    let spans: Vec<(Instant, Instant)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-    let start = spans
-        .iter()
-        .map(|s| s.0)
-        .min()
-        .expect("at least one client");
-    let end = spans
-        .iter()
-        .map(|s| s.1)
-        .max()
-        .expect("at least one client");
-    (end - start).as_secs_f64()
-}
-
-fn render_json(cfg: &Config, quick: bool, results: &[Measurement]) -> String {
+fn render_json(
+    cfg: &Config,
+    quick: bool,
+    results: &[Measurement],
+    overhead_ns: f64,
+    telemetry: &[Telemetry],
+) -> String {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"service\",\n");
@@ -245,6 +316,24 @@ fn render_json(cfg: &Config, quick: bool, results: &[Measurement]) -> String {
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"metrics\": {\n");
+    json.push_str(&format!(
+        "    \"disabled_overhead_ns\": {overhead_ns:.4},\n"
+    ));
+    json.push_str("    \"combine_runs\": [\n");
+    for (i, t) in telemetry.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"dist\": \"{}\", \"clients\": {}, \"combine\": {}, \"pool\": {}, \"trace\": {{\"spans\": {}, \"dropped\": {}}}}}{}\n",
+            t.dist,
+            t.clients,
+            t.combine_json,
+            t.pool_json,
+            t.trace_spans,
+            t.trace_dropped,
+            if i + 1 < telemetry.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
     json
 }

@@ -7,6 +7,9 @@ pub use baselines;
 pub use batchapi;
 pub use combine;
 pub use forkjoin;
+pub use obs;
 pub use parprim;
 pub use pbist;
 pub use workloads;
+
+pub mod bench_util;

@@ -49,6 +49,7 @@ fn drive_and_verify(
         Options {
             pool_cutoff,
             log_rounds: true,
+            ..Options::default()
         },
     ));
 
@@ -229,6 +230,54 @@ fn drop_with_waiters_lifecycle() {
     for h in handles {
         h.join().unwrap();
     }
+}
+
+/// The combiner advances `Stats` with plain single-writer load+store pairs,
+/// ordered so that `ops` is published before `rounds` (Release) and read
+/// back in the opposite order (Acquire).  That ordering is exactly what
+/// makes `ops >= rounds` and `pooled_rounds <= rounds` hold in *every*
+/// concurrent snapshot, not just quiescent ones — every committed round
+/// drained at least one op, and a snapshot that sees the round must see
+/// its ops.  Hammer the reader against four writers to catch any
+/// reordering regression in `bump_stats`.
+#[test]
+fn stats_snapshots_never_show_rounds_ahead_of_ops() {
+    let pool = Pool::new(2).unwrap();
+    let set = Arc::new(ConcurrentSet::new(IstSet::from_unsorted(Vec::new()), pool));
+    let writers = 4usize;
+    let per_writer = 2_000u64;
+    thread::scope(|s| {
+        for w in 0..writers as u64 {
+            let set = Arc::clone(&set);
+            s.spawn(move || {
+                for i in 0..per_writer {
+                    let key = w * 100_000 + (i % 64);
+                    if i % 3 == 0 {
+                        set.remove(&key);
+                    } else {
+                        set.insert(key);
+                    }
+                }
+            });
+        }
+        let set = Arc::clone(&set);
+        s.spawn(move || {
+            for _ in 0..5_000 {
+                let st = set.stats();
+                assert!(
+                    st.ops >= st.rounds,
+                    "snapshot shows more rounds than ops: {st:?}"
+                );
+                assert!(
+                    st.pooled_rounds <= st.rounds,
+                    "snapshot shows more pooled rounds than rounds: {st:?}"
+                );
+            }
+        });
+    });
+    let st = set.stats();
+    assert_eq!(st.ops, writers as u64 * per_writer, "quiescent op total");
+    assert!(st.rounds >= 1 && st.rounds <= st.ops, "quiescent rounds");
 }
 
 /// `len` participates in combining (it flushes pending ops first), so
