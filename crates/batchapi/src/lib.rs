@@ -44,22 +44,51 @@ pub struct Batch<K> {
 }
 
 /// Why a key vector was rejected by [`Batch::from_sorted`].
+///
+/// Both variants name the offending position, and the rendered message
+/// spells out *which* of the two ways the strict-increase invariant broke —
+/// a duplicated key versus an out-of-order pair — so a failed ingest can be
+/// traced to the exact input element without reproducing the batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BatchError {
-    /// `keys[index] >= keys[index + 1]`: the input is not strictly
-    /// increasing at `index` (either out of order or a duplicate).
-    NotStrictlyIncreasing {
-        /// Position of the first violation.
+    /// `keys[index] == keys[index + 1]`: the key at `index` appears again
+    /// immediately after itself.
+    Duplicate {
+        /// Position of the first of the two equal keys.
         index: usize,
     },
+    /// `keys[index] > keys[index + 1]`: the input is out of order at
+    /// `index`.
+    OutOfOrder {
+        /// Position of the first key that exceeds its successor.
+        index: usize,
+    },
+}
+
+impl BatchError {
+    /// Position of the first adjacent pair violating the strict-increase
+    /// invariant, whichever way it violated it.
+    pub fn index(&self) -> usize {
+        match self {
+            BatchError::Duplicate { index } | BatchError::OutOfOrder { index } => *index,
+        }
+    }
 }
 
 impl fmt::Display for BatchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BatchError::NotStrictlyIncreasing { index } => write!(
+            BatchError::Duplicate { index } => write!(
                 f,
-                "batch keys must be strictly increasing, violated at index {index}"
+                "batch keys must be strictly increasing: keys[{index}] and \
+                 keys[{}] are equal (duplicate key at index {index})",
+                index + 1
+            ),
+            BatchError::OutOfOrder { index } => write!(
+                f,
+                "batch keys must be strictly increasing: keys[{index}] > \
+                 keys[{}] (out of order at index {index})",
+                index + 1
             ),
         }
     }
@@ -81,11 +110,15 @@ impl<K: Ord> Batch<K> {
     ///
     /// # Errors
     ///
-    /// Returns [`BatchError::NotStrictlyIncreasing`] at the first adjacent
-    /// pair that is out of order or equal.
+    /// Returns [`BatchError::Duplicate`] at the first adjacent pair that is
+    /// equal, or [`BatchError::OutOfOrder`] at the first that decreases.
     pub fn from_sorted(keys: Vec<K>) -> Result<Batch<K>, BatchError> {
         if let Some(index) = keys.windows(2).position(|w| w[0] >= w[1]) {
-            return Err(BatchError::NotStrictlyIncreasing { index });
+            return Err(if keys[index] == keys[index + 1] {
+                BatchError::Duplicate { index }
+            } else {
+                BatchError::OutOfOrder { index }
+            });
         }
         Ok(Batch { keys })
     }
@@ -113,6 +146,68 @@ impl<K: Ord> Batch<K> {
     /// Consumes the batch, returning the sorted key vector.
     pub fn into_vec(self) -> Vec<K> {
         self.keys
+    }
+
+    /// Splits the batch into `offsets.len() - 1` contiguous sub-batches:
+    /// sub-batch `i` is `self[offsets[i]..offsets[i + 1]]` (possibly
+    /// empty).  `offsets` is the exclusive scan of the per-segment key
+    /// counts — exactly the shape `pbist`'s joint traversal produces when
+    /// it partitions a batch at a node's routers, and what a sharded
+    /// service tier produces when it carves a batch at shard boundaries.
+    ///
+    /// Every sub-batch is a contiguous slice of a strictly-increasing run,
+    /// so it is itself a valid batch; no re-validation happens.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `offsets` is not a valid exclusive scan over this batch:
+    /// fewer than two entries, not non-decreasing, first entry not `0`, or
+    /// last entry not `self.len()`.
+    pub fn split_at_offsets(&self, offsets: &[usize]) -> Vec<Batch<K>>
+    where
+        K: Clone,
+    {
+        assert!(offsets.len() >= 2, "offsets needs at least [0, len]");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().expect("len checked above"),
+            self.keys.len(),
+            "offsets must end at the batch length"
+        );
+        offsets
+            .windows(2)
+            .map(|w| {
+                assert!(w[0] <= w[1], "offsets must be non-decreasing");
+                Batch {
+                    keys: self.keys[w[0]..w[1]].to_vec(),
+                }
+            })
+            .collect()
+    }
+
+    /// Merges two batches into one sorted, deduplicated batch in
+    /// `O(self.len() + other.len())` — the inverse of splitting, used to
+    /// recombine per-shard key sets into one view.  Keys present in both
+    /// inputs appear once.
+    pub fn merge(&self, other: &Batch<K>) -> Batch<K>
+    where
+        K: Clone,
+    {
+        let mut keys = Vec::with_capacity(self.keys.len() + other.keys.len());
+        let (mut a, mut b) = (self.keys.iter().peekable(), other.keys.iter().peekable());
+        while let (Some(&x), Some(&y)) = (a.peek(), b.peek()) {
+            match x.cmp(y) {
+                std::cmp::Ordering::Less => keys.push(a.next().expect("peeked").clone()),
+                std::cmp::Ordering::Greater => keys.push(b.next().expect("peeked").clone()),
+                std::cmp::Ordering::Equal => {
+                    keys.push(a.next().expect("peeked").clone());
+                    b.next();
+                }
+            }
+        }
+        keys.extend(a.cloned());
+        keys.extend(b.cloned());
+        Batch { keys }
     }
 }
 
@@ -238,14 +333,38 @@ mod tests {
     fn from_sorted_reports_first_violation() {
         assert_eq!(
             Batch::from_sorted(vec![1u64, 2, 2, 3]),
-            Err(BatchError::NotStrictlyIncreasing { index: 1 })
+            Err(BatchError::Duplicate { index: 1 })
         );
         assert_eq!(
             Batch::from_sorted(vec![5u64, 4]),
-            Err(BatchError::NotStrictlyIncreasing { index: 0 })
+            Err(BatchError::OutOfOrder { index: 0 })
         );
-        let msg = BatchError::NotStrictlyIncreasing { index: 7 }.to_string();
-        assert!(msg.contains("index 7"), "{msg}");
+        // A mixed violation reports the *first* offending pair only.
+        assert_eq!(
+            Batch::from_sorted(vec![1u64, 3, 2, 2]),
+            Err(BatchError::OutOfOrder { index: 1 })
+        );
+    }
+
+    /// Regression test: the rendered message must name the offending index
+    /// (and which way the invariant broke), not just carry it in the typed
+    /// error — a failed ingest log line has the string, not the enum.
+    #[test]
+    fn from_sorted_error_message_names_the_offending_index() {
+        let dup = Batch::from_sorted(vec![10u64, 20, 20]).unwrap_err();
+        assert_eq!(dup.index(), 1);
+        let msg = dup.to_string();
+        assert!(msg.contains("keys[1]"), "{msg}");
+        assert!(msg.contains("duplicate key at index 1"), "{msg}");
+
+        let ooo = Batch::from_sorted(vec![10u64, 20, 15]).unwrap_err();
+        assert_eq!(ooo.index(), 1);
+        let msg = ooo.to_string();
+        assert!(msg.contains("keys[1]"), "{msg}");
+        assert!(msg.contains("out of order at index 1"), "{msg}");
+
+        let deep = BatchError::Duplicate { index: 7 }.to_string();
+        assert!(deep.contains("index 7"), "{deep}");
     }
 
     #[test]
@@ -254,6 +373,49 @@ mod tests {
         assert!(batch.is_empty());
         assert_eq!(batch.len(), 0);
         assert_eq!(Batch::<u64>::default(), batch);
+    }
+
+    #[test]
+    fn split_at_offsets_carves_contiguous_sub_batches() {
+        let batch = Batch::from_unsorted(vec![1u64, 3, 5, 7, 9, 11]);
+        let parts = batch.split_at_offsets(&[0, 2, 2, 5, 6]);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0].as_slice(), &[1, 3]);
+        assert!(parts[1].is_empty());
+        assert_eq!(parts[2].as_slice(), &[5, 7, 9]);
+        assert_eq!(parts[3].as_slice(), &[11]);
+        // Degenerate scans are fine: one segment, or an empty batch.
+        assert_eq!(batch.split_at_offsets(&[0, 6])[0], batch);
+        let empty: Batch<u64> = Batch::empty();
+        assert!(empty.split_at_offsets(&[0, 0])[0].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must end at the batch length")]
+    fn split_at_offsets_rejects_short_scans() {
+        Batch::from_unsorted(vec![1u64, 2, 3]).split_at_offsets(&[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must be non-decreasing")]
+    fn split_at_offsets_rejects_decreasing_scans() {
+        Batch::from_unsorted(vec![1u64, 2, 3]).split_at_offsets(&[0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn merge_recombines_disjoint_and_overlapping_batches() {
+        let a = Batch::from_unsorted(vec![1u64, 3, 5]);
+        let b = Batch::from_unsorted(vec![2u64, 3, 6]);
+        assert_eq!(a.merge(&b).as_slice(), &[1, 2, 3, 5, 6]);
+        assert_eq!(b.merge(&a), a.merge(&b), "merge is symmetric");
+        let empty: Batch<u64> = Batch::empty();
+        assert_eq!(a.merge(&empty), a);
+        assert_eq!(empty.merge(&a), a);
+        // Split-then-merge round-trips.
+        let batch = Batch::from_unsorted((0..100u64).collect());
+        let parts = batch.split_at_offsets(&[0, 33, 66, 100]);
+        let rejoined = parts[0].merge(&parts[1]).merge(&parts[2]);
+        assert_eq!(rejoined, batch);
     }
 
     #[test]

@@ -58,6 +58,16 @@
 //!    register with a `SeqCst` RMW, fence, and re-check before waiting), so
 //!    a completion or an unlock can never be slept through.
 //!
+//! # Batched ingress
+//!
+//! Traffic that *already* arrives as sorted batches — a sharded service
+//! tier routing per-shard sub-batches, a replayed log — skips the slot
+//! machinery entirely: [`ConcurrentSet::batch_contains`] /
+//! [`ConcurrentSet::batch_insert`] / [`ConcurrentSet::batch_remove`] make
+//! the caller the combiner, flush any point ops published before it won
+//! the flag, and execute the whole batch as one committed round (logged,
+//! counted, and poison-checked like any other).
+//!
 //! # Linearisability
 //!
 //! Each round commits atomically between two combiner-lock critical
@@ -241,6 +251,10 @@ struct CombineMetrics {
     slow_path_ops: Arc<Counter>,
     /// `combine.poisoned` — combiner panics that poisoned the front-end.
     poisoned: Arc<Counter>,
+    /// `combine.batch_rounds` — rounds that entered as a whole pre-sorted
+    /// batch through the batched surface (a sharded tier's sub-batches),
+    /// rather than being combined from published point ops.
+    batch_rounds: Arc<Counter>,
     /// `combine.round_size` — ops per committed round.
     round_size: Arc<Histogram>,
 }
@@ -254,6 +268,7 @@ impl CombineMetrics {
             fast_path_rounds: registry.counter("combine.fast_path_rounds"),
             slow_path_ops: registry.counter("combine.slow_path_ops"),
             poisoned: registry.counter("combine.poisoned"),
+            batch_rounds: registry.counter("combine.batch_rounds"),
             round_size: registry.histogram("combine.round_size"),
         }
     }
@@ -457,6 +472,135 @@ where
             Some(result) => result,
             None => self.run_op_published(OpKind::Contains, key.clone()),
         }
+    }
+
+    /// Answers one membership query per key of a pre-sorted `batch`,
+    /// executed as one combining round of its own.
+    ///
+    /// This is the batched ingress a sharded service tier routes sub-batches
+    /// through: the caller becomes the combiner (flushing any point ops
+    /// published before it won the flag — they were pending first, so they
+    /// linearise first), runs the whole batch against the backend in one
+    /// round, and commits it to the round log like any other round.  Batches
+    /// of at least [`Options::pool_cutoff`] keys execute inside the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the front-end is [poisoned](ConcurrentSet#poisoning)
+    /// (same for the other batched operations).
+    pub fn batch_contains(&self, batch: &Batch<K>) -> Vec<bool> {
+        let mut out = Vec::with_capacity(batch.len());
+        self.batch_contains_report(batch, &mut out);
+        out
+    }
+
+    /// Inserts every key of `batch` as one combining round; `result[i]` is
+    /// `true` iff `batch[i]` was newly inserted.  See
+    /// [`ConcurrentSet::batch_contains`] for the linearisation contract.
+    pub fn batch_insert(&self, batch: &Batch<K>) -> Vec<bool> {
+        let mut out = Vec::with_capacity(batch.len());
+        self.batch_insert_report(batch, &mut out);
+        out
+    }
+
+    /// Removes every key of `batch` as one combining round; `result[i]` is
+    /// `true` iff `batch[i]` was present.  See
+    /// [`ConcurrentSet::batch_contains`] for the linearisation contract.
+    pub fn batch_remove(&self, batch: &Batch<K>) -> Vec<bool> {
+        let mut out = Vec::with_capacity(batch.len());
+        self.batch_remove_report(batch, &mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of [`ConcurrentSet::batch_contains`]: flags
+    /// land in `out` (cleared first), so a tier issuing many sub-batches
+    /// can reuse one buffer per shard.
+    pub fn batch_contains_report(&self, batch: &Batch<K>, out: &mut Vec<bool>) {
+        self.run_batch_op(OpKind::Contains, batch, out);
+    }
+
+    /// Buffer-reusing variant of [`ConcurrentSet::batch_insert`].
+    pub fn batch_insert_report(&self, batch: &Batch<K>, out: &mut Vec<bool>) {
+        self.run_batch_op(OpKind::Insert, batch, out);
+    }
+
+    /// Buffer-reusing variant of [`ConcurrentSet::batch_remove`].
+    pub fn batch_remove_report(&self, batch: &Batch<K>, out: &mut Vec<bool>) {
+        self.run_batch_op(OpKind::Remove, batch, out);
+    }
+
+    /// Becomes the combiner (waiting out a concurrent one), flushes pending
+    /// published ops, then executes `batch` as one `kind` round: the
+    /// backend's batched op runs once, per-key flags land in `out`, and the
+    /// round is logged and counted exactly like a combined one.  Duplicate
+    /// resolution never arises — a [`Batch`] holds each key at most once.
+    fn run_batch_op(&self, kind: OpKind, batch: &Batch<K>, out: &mut Vec<bool>) {
+        out.clear();
+        if batch.is_empty() {
+            // An empty round would break the `ops >= rounds` stats
+            // invariant; there is nothing to linearise anyway.
+            self.check_poisoned();
+            return;
+        }
+        loop {
+            self.check_poisoned();
+            if self.lock_combiner() {
+                let _unlock = CombinerGuard { set: self };
+                // Same post-CAS re-check as `try_fast_op`: never execute
+                // after a poisoning release.
+                self.check_poisoned();
+                // Ops published before we won the flag were pending before
+                // this batch arrived; linearise them first, as the fast
+                // path does.
+                self.combine_round();
+                let total = batch.len() as u64;
+                let _span = self
+                    .trace
+                    .as_ref()
+                    .map(|ring| obs::trace_round(ring, total));
+                // SAFETY: we hold the combiner flag — exclusive set access.
+                let set = unsafe { &mut *self.set.get() };
+                let pooled = batch.len() >= self.pool_cutoff;
+                let run = |set: &mut S, out: &mut Vec<bool>| match kind {
+                    OpKind::Contains => set.batch_contains_report(batch, out),
+                    OpKind::Insert => set.batch_insert_report(batch, out),
+                    OpKind::Remove => set.batch_remove_report(batch, out),
+                };
+                if pooled {
+                    self.pool.install(|| run(set, out));
+                } else {
+                    run(set, out);
+                }
+                debug_assert_eq!(out.len(), batch.len(), "one flag per batch key");
+                if let Some(log) = &self.log {
+                    let ops = batch
+                        .iter()
+                        .zip(out.iter())
+                        .map(|(key, &result)| RoundOp {
+                            kind,
+                            key: key.clone(),
+                            result,
+                        })
+                        .collect();
+                    log.lock().unwrap().push(Round { ops });
+                }
+                self.metrics.batch_rounds.add_single_writer(1);
+                self.bump_stats(total, pooled);
+                return;
+            }
+            self.wait_until(|| {
+                !self.combiner.load(Ordering::Acquire) || self.poisoned.load(Ordering::Acquire)
+            });
+        }
+    }
+
+    /// Returns `true` when a combiner panic has
+    /// [poisoned](ConcurrentSet#poisoning) the front-end.  Unlike the
+    /// operations, this never panics — it is how a supervising layer (a
+    /// sharded tier) inspects shard health without tripping the poison
+    /// itself.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
     }
 
     /// Number of keys in the set.
@@ -1201,6 +1345,84 @@ mod tests {
         let m = slow.metrics();
         assert_eq!(m.counter("combine.fast_path_rounds"), Some(0));
         assert_eq!(m.counter("combine.slow_path_ops"), Some(2));
+    }
+
+    #[test]
+    fn batched_surface_commits_whole_batches_as_rounds() {
+        let set = fresh(true);
+        assert!(set.insert(5));
+        let ins = set.batch_insert(&Batch::from_unsorted(vec![1u64, 5, 9]));
+        assert_eq!(ins, vec![true, false, true]);
+        let con = set.batch_contains(&Batch::from_unsorted(vec![1u64, 2, 9]));
+        assert_eq!(con, vec![true, false, true]);
+        let rem = set.batch_remove(&Batch::from_unsorted(vec![2u64, 5]));
+        assert_eq!(rem, vec![false, true]);
+        assert_eq!(set.len(), 2);
+
+        // The log holds the point round plus one round per batch, each
+        // batch round carrying its keys in batch order.
+        let rounds = set.take_rounds();
+        assert_eq!(rounds.len(), 4);
+        assert_eq!(rounds[1].ops.len(), 3);
+        assert_eq!(
+            rounds[1].ops[0],
+            RoundOp {
+                kind: OpKind::Insert,
+                key: 1,
+                result: true
+            }
+        );
+        assert_eq!(rounds[3].ops.len(), 2);
+
+        // Stats count batch keys as ops; the batched rounds are tallied.
+        let m = set.metrics();
+        assert_eq!(m.counter("combine.batch_rounds"), Some(3));
+        assert_eq!(m.counter("combine.ops"), Some(1 + 3 + 3 + 2));
+        assert_eq!(m.counter("combine.rounds"), Some(4));
+
+        // Empty batches are no-ops: no round, no flags, nothing logged.
+        let before = set.stats();
+        assert!(set.batch_insert(&Batch::empty()).is_empty());
+        let mut out = vec![true; 4];
+        set.batch_remove_report(&Batch::empty(), &mut out);
+        assert!(out.is_empty(), "report variant clears stale flags");
+        assert_eq!(set.stats(), before);
+        assert!(set.take_rounds().is_empty());
+    }
+
+    #[test]
+    fn batched_surface_pools_large_batches() {
+        // pool_cutoff 4: a 5-key batch must execute inside the pool.
+        let set = fresh(false);
+        set.batch_insert(&Batch::from_unsorted(vec![1u64, 2, 3, 4, 5]));
+        assert_eq!(set.stats().pooled_rounds, 1);
+        set.batch_contains(&Batch::from_unsorted(vec![1u64, 2]));
+        assert_eq!(set.stats().pooled_rounds, 1, "below cutoff stays inline");
+    }
+
+    #[test]
+    fn batched_surface_respects_poisoning() {
+        let set = ConcurrentSet::with_options(
+            BombSet(VecSet(Vec::new())),
+            Pool::new(1).unwrap(),
+            Options {
+                pool_cutoff: 0,
+                log_rounds: false,
+                ..Options::default()
+            },
+        );
+        assert!(!set.is_poisoned());
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            set.batch_insert(&Batch::from_unsorted(vec![1u64, u64::MAX]));
+        }));
+        assert!(boom.is_err());
+        assert!(set.is_poisoned(), "is_poisoned reports without panicking");
+        let after = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            set.batch_contains(&Batch::from_unsorted(vec![1u64]));
+        }));
+        let payload = after.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().expect("str payload");
+        assert!(msg.contains("poisoned"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,533 @@
+//! Sharded service tier: a batch-splitting router over N flat-combining
+//! front-ends.
+//!
+//! One [`combine::ConcurrentSet`] is one combiner — one serialisation
+//! point, no matter how many clients publish into it.  This crate is the
+//! production answer the ROADMAP calls for: partition the key space across
+//! `N` shards, each its own `ConcurrentSet` over its own backend, and route
+//! traffic at two granularities:
+//!
+//! * **Point ops** ([`ShardedSet::insert`] / [`ShardedSet::remove`] /
+//!   [`ShardedSet::contains`]) go straight to the owning shard — one
+//!   [`ShardRouter::shard_of`] call of routing overhead on top of the
+//!   shard's own fast path.
+//! * **Batched ops** ([`ShardedSet::batch_insert`] and friends) split one
+//!   incoming sorted [`Batch`] into per-shard sub-batches
+//!   ([`ShardRouter::split`] — for the range router a handful of narrowing
+//!   binary searches whose offsets are the exclusive scan of per-shard
+//!   counts, exactly the carve `pbist`'s joint traversal performs at every
+//!   inner node), execute the sub-batches (in parallel on the tier's
+//!   fork-join pool once the batch is large enough), and stitch per-op
+//!   results back into batch order by carving the output at the same
+//!   offsets.
+//!
+//! # Routing contract
+//!
+//! The router's assignment is total and stable, so **every operation on a
+//! key — point or batched — executes on the same shard**, and each shard
+//! serialises its operations through its combiner.  The tier therefore
+//! guarantees **per-shard linearizability**: restricted to any one shard's
+//! key range, the concurrent history is linearizable (each shard's commit
+//! log is a witness, replayable against a sequential oracle — the
+//! `service_stress` suite does exactly that).
+//!
+//! There is **no cross-shard ordering guarantee**.  Two operations on keys
+//! of different shards commit independently; a client that observes op A
+//! on shard 1 and then issues op B on shard 2 gets no promise that another
+//! client sees them in that order.  Aggregates over several shards
+//! ([`ShardedSet::len`]) are sums of per-shard linearisation points taken
+//! at different instants, not a consistent cut.  This is the standard
+//! sharded-store contract; callers needing cross-shard atomicity must add
+//! a coordination layer on top.
+//!
+//! # Poisoning
+//!
+//! A backend panic mid-round poisons its shard (see
+//! [`combine`'s poisoning contract](combine::ConcurrentSet#poisoning)) and
+//! — as soon as the tier observes it — the whole tier: the panic
+//! propagates to the issuing client, every later tier operation panics
+//! fast, and clients blocked on *other* shards either complete normally or
+//! observe the tier-level poison.  Nothing hangs.
+//!
+//! # Example
+//!
+//! ```
+//! use service::{RangeRouter, ShardedSet};
+//!
+//! let router = RangeRouter::new(4, 0u64, 10_000);
+//! let set = ShardedSet::new(
+//!     router,
+//!     (0..4)
+//!         .map(|_| {
+//!             combine::ConcurrentSet::new(
+//!                 pbist::IstSet::from_unsorted(Vec::new()),
+//!                 forkjoin::Pool::new(1).expect("shard pool"),
+//!             )
+//!         })
+//!         .collect(),
+//!     forkjoin::Pool::new(2).expect("tier pool"),
+//! );
+//!
+//! assert!(set.insert(7));
+//! let batch = batchapi::Batch::from_unsorted(vec![7u64, 2_500, 9_999]);
+//! assert_eq!(set.batch_insert(&batch), vec![false, true, true]);
+//! assert_eq!(set.batch_contains(&batch), vec![true, true, true]);
+//! assert_eq!(set.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod router;
+
+pub use router::{HashRouter, RangeRouter, ShardRouter, SplitBatch};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use batchapi::{Batch, BatchedSet};
+use combine::{ConcurrentSet, OpKind, Round};
+use forkjoin::Pool;
+use obs::{Counter, Histogram, Registry, Snapshot};
+
+/// Construction-time knobs for [`ShardedSet`].
+#[derive(Debug, Clone)]
+pub struct ShardedOptions {
+    /// Batches with at least this many keys execute their per-shard
+    /// sub-batches in parallel on the tier's fork-join pool; smaller ones
+    /// run the shards sequentially on the issuing thread (a pool
+    /// round-trip costs more than a couple of small sub-batches).  `0`
+    /// forces every split batch through the pool; `usize::MAX` keeps
+    /// everything sequential.
+    pub parallel_cutoff: usize,
+}
+
+impl Default for ShardedOptions {
+    fn default() -> ShardedOptions {
+        ShardedOptions {
+            parallel_cutoff: 256,
+        }
+    }
+}
+
+/// Handles cloned out of the tier registry once at construction, so the
+/// routing paths hit the atomics directly.
+struct ServiceMetrics {
+    /// `service.batches_split` — incoming batches split across shards.
+    batches_split: Arc<Counter>,
+    /// `service.point_ops` — point operations routed to a shard.
+    point_ops: Arc<Counter>,
+    /// `service.empty_subbatches` — sub-batches that received no keys
+    /// (their shard was skipped for that batch).
+    empty_subbatches: Arc<Counter>,
+    /// `service.poisoned` — shard panics observed (and promoted) by the
+    /// tier.
+    poisoned: Arc<Counter>,
+    /// `service.subbatch_size` — keys per non-empty per-shard sub-batch.
+    subbatch_size: Arc<Histogram>,
+}
+
+impl ServiceMetrics {
+    fn new(registry: &Registry) -> ServiceMetrics {
+        ServiceMetrics {
+            batches_split: registry.counter("service.batches_split"),
+            point_ops: registry.counter("service.point_ops"),
+            empty_subbatches: registry.counter("service.empty_subbatches"),
+            poisoned: registry.counter("service.poisoned"),
+            subbatch_size: registry.histogram("service.subbatch_size"),
+        }
+    }
+}
+
+/// Promotes a shard panic to tier-level poison on unwind.  Scoped tightly
+/// around each delegation into a shard, so only a panic *escaping a shard
+/// operation* (the shard's own poison panic, or the backend panic that
+/// caused it) trips the tier flag.
+struct PoisonOnUnwind<'a> {
+    poisoned: &'a AtomicBool,
+    counter: &'a Counter,
+}
+
+impl Drop for PoisonOnUnwind<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // SeqCst mirrors the shard-level poison store: the flag must be
+            // visible to every fenced re-check before the unwind finishes
+            // releasing whatever the panicking client held.
+            if !self.poisoned.swap(true, Ordering::SeqCst) {
+                self.counter.inc();
+            }
+        }
+    }
+}
+
+/// A concurrent ordered set partitioned across `N`
+/// [`combine::ConcurrentSet`] shards by a [`ShardRouter`].
+///
+/// See the [module docs](self) for the routing contract (per-shard
+/// linearizability, no cross-shard ordering) and the poisoning semantics.
+/// Shared by reference (typically `Arc`); all operations take `&self`.
+pub struct ShardedSet<K, S, R> {
+    router: R,
+    shards: Vec<ConcurrentSet<K, S>>,
+    /// Tier pool executing per-shard sub-batches in parallel.  Distinct
+    /// from every shard's own pool, so a tier worker blocking on a shard
+    /// combiner can never form a wait cycle.
+    pool: Pool,
+    parallel_cutoff: usize,
+    /// Tier-level poison flag; set when any delegation into a shard
+    /// unwinds.  Checked first by every tier operation.
+    poisoned: AtomicBool,
+    registry: Registry,
+    metrics: ServiceMetrics,
+}
+
+impl<K, S, R> ShardedSet<K, S, R>
+where
+    K: Ord + Clone + Send + Sync,
+    S: BatchedSet<K> + Send,
+    R: ShardRouter<K> + Sync,
+{
+    /// Builds a tier from a router, its shards (one `ConcurrentSet` per
+    /// router shard, index-aligned), and the tier pool, with default
+    /// [`ShardedOptions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards.len() != router.num_shards()` or no shards are
+    /// given.
+    pub fn new(router: R, shards: Vec<ConcurrentSet<K, S>>, pool: Pool) -> ShardedSet<K, S, R> {
+        ShardedSet::with_options(router, shards, pool, ShardedOptions::default())
+    }
+
+    /// [`ShardedSet::new`] with explicit [`ShardedOptions`].
+    pub fn with_options(
+        router: R,
+        shards: Vec<ConcurrentSet<K, S>>,
+        pool: Pool,
+        options: ShardedOptions,
+    ) -> ShardedSet<K, S, R> {
+        assert!(!shards.is_empty(), "a tier needs at least one shard");
+        assert_eq!(
+            shards.len(),
+            router.num_shards(),
+            "router partitions {} ways but {} shards were given",
+            router.num_shards(),
+            shards.len()
+        );
+        let registry = Registry::new();
+        let metrics = ServiceMetrics::new(&registry);
+        ShardedSet {
+            router,
+            shards,
+            pool,
+            parallel_cutoff: options.parallel_cutoff,
+            poisoned: AtomicBool::new(false),
+            registry,
+            metrics,
+        }
+    }
+
+    /// Number of shards in the tier.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The tier's router.
+    pub fn router(&self) -> &R {
+        &self.router
+    }
+
+    /// Inserts `key` on its owning shard, returning `true` iff it was
+    /// newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tier is [poisoned](self#poisoning) (same for every
+    /// other operation).
+    pub fn insert(&self, key: K) -> bool {
+        self.check_poisoned();
+        self.metrics.point_ops.inc();
+        let shard = self.router.shard_of(&key);
+        let _promote = self.poison_guard();
+        self.shards[shard].insert(key)
+    }
+
+    /// Removes `key` from its owning shard, returning `true` iff it was
+    /// present.
+    pub fn remove(&self, key: &K) -> bool {
+        self.check_poisoned();
+        self.metrics.point_ops.inc();
+        let _promote = self.poison_guard();
+        self.shards[self.router.shard_of(key)].remove(key)
+    }
+
+    /// Returns `true` iff `key` is present on its owning shard.
+    pub fn contains(&self, key: &K) -> bool {
+        self.check_poisoned();
+        self.metrics.point_ops.inc();
+        let _promote = self.poison_guard();
+        self.shards[self.router.shard_of(key)].contains(key)
+    }
+
+    /// Answers one membership query per batch key, split across shards.
+    /// `result[i]` answers `batch[i]`; per-shard results are per-shard
+    /// linearisation points (no cross-shard snapshot — see the
+    /// [module docs](self)).
+    pub fn batch_contains(&self, batch: &Batch<K>) -> Vec<bool> {
+        let mut out = Vec::with_capacity(batch.len());
+        self.batch_contains_report(batch, &mut out);
+        out
+    }
+
+    /// Inserts every batch key on its owning shard; `result[i]` is `true`
+    /// iff `batch[i]` was newly inserted.
+    pub fn batch_insert(&self, batch: &Batch<K>) -> Vec<bool> {
+        let mut out = Vec::with_capacity(batch.len());
+        self.batch_insert_report(batch, &mut out);
+        out
+    }
+
+    /// Removes every batch key from its owning shard; `result[i]` is
+    /// `true` iff `batch[i]` was present.
+    pub fn batch_remove(&self, batch: &Batch<K>) -> Vec<bool> {
+        let mut out = Vec::with_capacity(batch.len());
+        self.batch_remove_report(batch, &mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of [`ShardedSet::batch_contains`] (flags
+    /// land in `out`, cleared first).
+    pub fn batch_contains_report(&self, batch: &Batch<K>, out: &mut Vec<bool>) {
+        self.run_batch(OpKind::Contains, batch, out);
+    }
+
+    /// Buffer-reusing variant of [`ShardedSet::batch_insert`].
+    pub fn batch_insert_report(&self, batch: &Batch<K>, out: &mut Vec<bool>) {
+        self.run_batch(OpKind::Insert, batch, out);
+    }
+
+    /// Buffer-reusing variant of [`ShardedSet::batch_remove`].
+    pub fn batch_remove_report(&self, batch: &Batch<K>, out: &mut Vec<bool>) {
+        self.run_batch(OpKind::Remove, batch, out);
+    }
+
+    /// Total keys across all shards.  Each shard's count is its own
+    /// linearisation point; the sum is **not** a consistent cross-shard
+    /// cut (see the [module docs](self)).
+    pub fn len(&self) -> usize {
+        self.check_poisoned();
+        let _promote = self.poison_guard();
+        self.shards.iter().map(ConcurrentSet::len).sum()
+    }
+
+    /// Returns `true` when no shard holds any key (same caveat as
+    /// [`ShardedSet::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` when the tier — or any of its shards — is poisoned.
+    /// Never panics; this is the health probe.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire) || self.shards.iter().any(ConcurrentSet::is_poisoned)
+    }
+
+    /// Snapshot of the tier's own metrics (`service.*` — batch splits,
+    /// sub-batch sizes, routed point ops, observed poisonings).
+    pub fn metrics(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Per-shard metric snapshots (each shard's `combine.*` registry:
+    /// rounds, round sizes, fast/slow path splits), index-aligned with the
+    /// router's shard numbering.
+    pub fn shard_metrics(&self) -> Vec<Snapshot> {
+        self.shards.iter().map(ConcurrentSet::metrics).collect()
+    }
+
+    /// Drains every shard's committed-round log (empty unless the shards
+    /// were built with [`combine::Options::log_rounds`]), index-aligned
+    /// with the router's shard numbering.  Each shard's log is that
+    /// shard's linearisation witness.
+    pub fn take_shard_rounds(&self) -> Vec<Vec<Round<K>>> {
+        self.shards.iter().map(ConcurrentSet::take_rounds).collect()
+    }
+
+    /// Consumes the tier, returning its shards (dropping the tier pool).
+    /// Owning `self` proves no operation is in flight.
+    pub fn into_shards(self) -> Vec<ConcurrentSet<K, S>> {
+        self.shards
+    }
+
+    /// Splits `batch` across shards, executes every non-empty sub-batch on
+    /// its shard (in parallel on the tier pool once the batch reaches
+    /// `parallel_cutoff` keys), and stitches the per-shard flags back into
+    /// batch order.
+    fn run_batch(&self, kind: OpKind, batch: &Batch<K>, out: &mut Vec<bool>) {
+        self.check_poisoned();
+        out.clear();
+        if batch.is_empty() {
+            return;
+        }
+        let split = self.router.split(batch);
+        self.metrics.batches_split.inc();
+        for sub in split.sub_batches() {
+            if sub.is_empty() {
+                self.metrics.empty_subbatches.inc();
+            } else {
+                self.metrics.subbatch_size.record(sub.len() as u64);
+            }
+        }
+
+        // One result run per shard (empty sub-batches report zero flags);
+        // tasks carry only the non-empty shards.
+        let mut results: Vec<Vec<bool>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut tasks: Vec<(usize, &Batch<K>, &mut Vec<bool>)> = split
+            .sub_batches()
+            .iter()
+            .zip(results.iter_mut())
+            .enumerate()
+            .filter(|(_, (sub, _))| !sub.is_empty())
+            .map(|(shard, (sub, run))| (shard, sub, run))
+            .collect();
+
+        if batch.len() >= self.parallel_cutoff && tasks.len() > 1 {
+            // Each task is a whole shard round, so fork with grain 1 (the
+            // element-count heuristic would be wrong — see pbist::traverse).
+            self.pool.install(|| {
+                parprim::for_each_mut_with_grain(&mut tasks, 1, |(shard, sub, run)| {
+                    self.exec_shard(kind, *shard, sub, run);
+                });
+            });
+        } else {
+            for (shard, sub, run) in &mut tasks {
+                self.exec_shard(kind, *shard, sub, run);
+            }
+        }
+        split.stitch(&results, out);
+    }
+
+    /// Delegates one sub-batch to its shard, promoting any panic that
+    /// escapes the shard to tier-level poison.
+    fn exec_shard(&self, kind: OpKind, shard: usize, sub: &Batch<K>, run: &mut Vec<bool>) {
+        let _promote = self.poison_guard();
+        let shard = &self.shards[shard];
+        match kind {
+            OpKind::Contains => shard.batch_contains_report(sub, run),
+            OpKind::Insert => shard.batch_insert_report(sub, run),
+            OpKind::Remove => shard.batch_remove_report(sub, run),
+        }
+    }
+
+    fn poison_guard(&self) -> PoisonOnUnwind<'_> {
+        PoisonOnUnwind {
+            poisoned: &self.poisoned,
+            counter: &self.metrics.poisoned,
+        }
+    }
+
+    /// Panics if the tier observed a shard poisoning (see the
+    /// [module docs](self)).
+    fn check_poisoned(&self) {
+        if self.poisoned.load(Ordering::Acquire) {
+            panic!(
+                "ShardedSet is poisoned: a shard's backend panicked mid-round, \
+                 so that shard's state is indeterminate"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbist::IstSet;
+
+    fn tier(
+        num_shards: usize,
+        parallel_cutoff: usize,
+    ) -> ShardedSet<u64, IstSet<u64>, RangeRouter<u64>> {
+        ShardedSet::with_options(
+            RangeRouter::new(num_shards, 0, 10_000),
+            (0..num_shards)
+                .map(|_| {
+                    ConcurrentSet::new(IstSet::from_unsorted(Vec::new()), Pool::new(1).unwrap())
+                })
+                .collect(),
+            Pool::new(2).unwrap(),
+            ShardedOptions { parallel_cutoff },
+        )
+    }
+
+    #[test]
+    fn point_ops_route_and_have_set_semantics() {
+        let set = tier(4, 256);
+        assert!(set.insert(5));
+        assert!(!set.insert(5));
+        assert!(set.insert(9_999));
+        assert!(set.contains(&5));
+        assert!(!set.contains(&6));
+        assert_eq!(set.len(), 2);
+        assert!(set.remove(&5));
+        assert!(!set.remove(&5));
+        assert!(!set.is_empty());
+        assert!(!set.is_poisoned());
+        let m = set.metrics();
+        assert_eq!(m.counter("service.point_ops"), Some(7));
+        assert_eq!(m.counter("service.batches_split"), Some(0));
+    }
+
+    #[test]
+    fn batched_ops_split_execute_and_stitch() {
+        for cutoff in [0usize, usize::MAX] {
+            let set = tier(4, cutoff);
+            let batch = Batch::from_unsorted(vec![1u64, 2_600, 5_100, 7_600, 9_999]);
+            assert_eq!(set.batch_insert(&batch), vec![true; 5]);
+            assert_eq!(set.batch_insert(&batch), vec![false; 5]);
+            assert_eq!(set.batch_contains(&batch), vec![true; 5]);
+            let partial = Batch::from_unsorted(vec![1u64, 3, 5_100]);
+            assert_eq!(set.batch_remove(&partial), vec![true, false, true]);
+            assert_eq!(set.len(), 3);
+
+            let m = set.metrics();
+            assert_eq!(
+                m.counter("service.batches_split"),
+                Some(4),
+                "cutoff {cutoff}"
+            );
+            let sizes = m.histogram("service.subbatch_size").unwrap();
+            assert!(sizes.count() > 0);
+            // Each shard saw traffic: the 5-key batch covers all 4 ranges.
+            for (shard, snap) in set.shard_metrics().iter().enumerate() {
+                assert!(
+                    snap.counter("combine.rounds").unwrap_or(0) > 0,
+                    "shard {shard} committed no rounds (cutoff {cutoff})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_no_ops() {
+        let set = tier(2, 256);
+        assert!(set.batch_insert(&Batch::empty()).is_empty());
+        let mut out = vec![true; 3];
+        set.batch_contains_report(&Batch::empty(), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(set.metrics().counter("service.batches_split"), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "router partitions 3 ways but 2 shards")]
+    fn shard_count_mismatch_is_rejected() {
+        ShardedSet::new(
+            RangeRouter::new(3, 0u64, 100),
+            (0..2)
+                .map(|_| {
+                    ConcurrentSet::new(IstSet::from_unsorted(Vec::new()), Pool::new(1).unwrap())
+                })
+                .collect(),
+            Pool::new(1).unwrap(),
+        );
+    }
+}

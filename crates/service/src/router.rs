@@ -1,0 +1,352 @@
+//! Shard routers: deciding which shard owns a key, and splitting a sorted
+//! [`Batch`] into per-shard sub-batches with a stitch plan for the results.
+//!
+//! Two routing disciplines ship here:
+//!
+//! * [`RangeRouter`] — partitions the key space into contiguous ranges by
+//!   interpolating each key's [`InterpolateKey::to_ordinal`] position
+//!   between the configured bounds, so shard `i` owns the `i`-th equal
+//!   slice of the ordinal range.  Because the mapping is monotone, a sorted
+//!   batch splits into **contiguous** sub-batches: the split is a handful
+//!   of narrowing binary searches (the exclusive scan of per-shard counts,
+//!   exactly the carve-at-offsets idiom `pbist`'s joint traversal uses at
+//!   every inner node), and results stitch back by carving the output
+//!   buffer at the same offsets.
+//! * [`HashRouter`] — spreads keys by a fixed (deterministic) hash, which
+//!   resists skew: a contiguous hot range lands on every shard instead of
+//!   one.  The price is that a sorted batch interleaves arbitrarily across
+//!   shards, so splitting walks the batch once and stitching scatters
+//!   results back through a recorded per-key assignment.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use batchapi::Batch;
+use pbist::node::interpolate_slot;
+use pbist::InterpolateKey;
+
+/// Assigns every key to one of a fixed number of shards.
+///
+/// The assignment must be **total and stable**: the same key always routes
+/// to the same shard, for the router's whole lifetime.  That is what makes
+/// the tier's per-key history live entirely inside one shard — the ground
+/// for the per-shard linearizability contract (see the crate docs).
+pub trait ShardRouter<K: Ord> {
+    /// Number of shards this router partitions the key space across.
+    fn num_shards(&self) -> usize;
+
+    /// The shard owning `key`; always `< num_shards()`.
+    fn shard_of(&self, key: &K) -> usize;
+
+    /// Splits a sorted `batch` into one (possibly empty) sub-batch per
+    /// shard, plus the plan for stitching per-shard results back into
+    /// batch order.
+    ///
+    /// The default implementation walks the batch once, appending each key
+    /// to its shard's run (a subsequence of a strictly-increasing run is
+    /// strictly increasing, so every sub-batch is a valid [`Batch`]) and
+    /// recording the per-key assignment for the scatter stitch.  Routers
+    /// whose assignment is *monotone* in the key should override this with
+    /// the contiguous carve — see [`RangeRouter`].
+    fn split(&self, batch: &Batch<K>) -> SplitBatch<K>
+    where
+        K: Clone,
+    {
+        let shards = self.num_shards();
+        let mut keys: Vec<Vec<K>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut shard_of_index = Vec::with_capacity(batch.len());
+        for key in batch.iter() {
+            let shard = self.shard_of(key);
+            assert!(shard < shards, "shard_of returned {shard} >= {shards}");
+            keys[shard].push(key.clone());
+            shard_of_index.push(shard);
+        }
+        SplitBatch {
+            sub_batches: keys
+                .into_iter()
+                .map(|run| {
+                    Batch::from_sorted(run).expect("a subsequence of a sorted batch stays sorted")
+                })
+                .collect(),
+            plan: StitchPlan::Scatter { shard_of_index },
+        }
+    }
+}
+
+/// How a [`SplitBatch`] maps per-shard result runs back to batch order.
+enum StitchPlan {
+    /// Batch order coincides with shard order (monotone router): shard
+    /// `s`'s results occupy `out[offsets[s]..offsets[s + 1]]`, `offsets`
+    /// being the exclusive scan of per-shard key counts.
+    Contiguous { offsets: Vec<usize> },
+    /// Arbitrary interleave: `shard_of_index[i]` names the shard that
+    /// received `batch[i]`, and results are scattered back through one
+    /// cursor per shard.
+    Scatter { shard_of_index: Vec<usize> },
+}
+
+/// One sorted batch carved into per-shard sub-batches, with the plan to
+/// stitch per-shard results back into batch order.  Produced by
+/// [`ShardRouter::split`]; consumed by the tier's batched operations (and
+/// directly testable — see this crate's router property tests).
+pub struct SplitBatch<K> {
+    sub_batches: Vec<Batch<K>>,
+    plan: StitchPlan,
+}
+
+impl<K: Ord> SplitBatch<K> {
+    /// The per-shard sub-batches, indexed by shard; empty shards hold
+    /// empty batches.
+    pub fn sub_batches(&self) -> &[Batch<K>] {
+        &self.sub_batches
+    }
+
+    /// Total keys across all sub-batches (= the split batch's length).
+    pub fn total_len(&self) -> usize {
+        self.sub_batches.iter().map(Batch::len).sum()
+    }
+
+    /// Stitches per-shard result runs back into batch order: `out[i]`
+    /// becomes the flag that `batch[i]`'s shard reported for it.
+    /// `per_shard[s]` must hold exactly one flag per key of sub-batch `s`,
+    /// in sub-batch order — which is what the shards' batched operations
+    /// report.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `per_shard` disagrees with the split's shape (wrong
+    /// shard count or a result run whose length differs from its
+    /// sub-batch).
+    pub fn stitch(&self, per_shard: &[Vec<bool>], out: &mut Vec<bool>) {
+        assert_eq!(
+            per_shard.len(),
+            self.sub_batches.len(),
+            "one result run per shard"
+        );
+        for (shard, (run, sub)) in per_shard.iter().zip(&self.sub_batches).enumerate() {
+            assert_eq!(
+                run.len(),
+                sub.len(),
+                "shard {shard} reported {} flags for {} keys",
+                run.len(),
+                sub.len()
+            );
+        }
+        out.clear();
+        match &self.plan {
+            StitchPlan::Contiguous { offsets } => {
+                // Shard order is batch order: concatenating the runs carves
+                // the output at exactly the split offsets.
+                for (shard, run) in per_shard.iter().enumerate() {
+                    debug_assert_eq!(
+                        out.len(),
+                        offsets[shard],
+                        "shard {shard}'s results must start at its carve offset"
+                    );
+                    out.extend_from_slice(run);
+                }
+            }
+            StitchPlan::Scatter { shard_of_index } => {
+                let mut cursors = vec![0usize; per_shard.len()];
+                out.extend(shard_of_index.iter().map(|&shard| {
+                    let flag = per_shard[shard][cursors[shard]];
+                    cursors[shard] += 1;
+                    flag
+                }));
+            }
+        }
+    }
+}
+
+/// Range-partitioning router: shard `i` owns the keys whose
+/// [`InterpolateKey::to_ordinal`] position falls into the `i`-th equal
+/// slice of `[min, max]`.  Keys outside the bounds clamp to the edge
+/// shards, so the assignment is total.
+///
+/// Monotone by construction (`to_ordinal` is monotone), which buys the
+/// contiguous split: a sorted batch carves into per-shard sub-slices with
+/// `num_shards - 1` narrowing binary searches instead of a per-key walk.
+#[derive(Debug, Clone)]
+pub struct RangeRouter<K> {
+    min: K,
+    max: K,
+    num_shards: usize,
+}
+
+impl<K: InterpolateKey> RangeRouter<K> {
+    /// A router over `num_shards` equal ordinal slices of `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_shards` is zero or `min > max`.
+    pub fn new(num_shards: usize, min: K, max: K) -> RangeRouter<K> {
+        assert!(num_shards > 0, "a router needs at least one shard");
+        assert!(min <= max, "inverted key range");
+        RangeRouter {
+            min,
+            max,
+            num_shards,
+        }
+    }
+}
+
+impl<K: InterpolateKey> ShardRouter<K> for RangeRouter<K> {
+    fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    fn shard_of(&self, key: &K) -> usize {
+        interpolate_slot(key, &self.min, &self.max, self.num_shards)
+    }
+
+    fn split(&self, batch: &Batch<K>) -> SplitBatch<K>
+    where
+        K: Clone,
+    {
+        // The monotone carve: locate each shard boundary with a binary
+        // search in the still-unassigned tail, so the offsets come out as
+        // the exclusive scan of per-shard key counts — the same idiom
+        // `pbist::traverse::partition_batch` uses at every inner node.
+        let mut offsets = Vec::with_capacity(self.num_shards + 1);
+        offsets.push(0);
+        let mut assigned = 0;
+        for shard in 0..self.num_shards - 1 {
+            assigned += batch[assigned..].partition_point(|key| self.shard_of(key) <= shard);
+            offsets.push(assigned);
+        }
+        offsets.push(batch.len());
+        SplitBatch {
+            sub_batches: batch.split_at_offsets(&offsets),
+            plan: StitchPlan::Contiguous { offsets },
+        }
+    }
+}
+
+/// Hash-partitioning router: shard = `hash(key) % num_shards`, with a
+/// fixed-key (deterministic across runs and processes) hasher, so traces
+/// and benchmarks replay exactly.
+///
+/// Use it when traffic is skewed: a contiguous hot key range that would
+/// swamp one [`RangeRouter`] shard spreads across all hash shards.  Not
+/// monotone, so batch splitting pays a per-key walk ([`ShardRouter`]'s
+/// default) instead of the contiguous carve.
+#[derive(Debug, Clone)]
+pub struct HashRouter {
+    num_shards: usize,
+}
+
+impl HashRouter {
+    /// A router spreading keys across `num_shards` by fixed hash.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_shards` is zero.
+    pub fn new(num_shards: usize) -> HashRouter {
+        assert!(num_shards > 0, "a router needs at least one shard");
+        HashRouter { num_shards }
+    }
+}
+
+impl<K: Ord + Hash> ShardRouter<K> for HashRouter {
+    fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    fn shard_of(&self, key: &K) -> usize {
+        // `DefaultHasher::new()` is the fixed-key SipHash construction —
+        // deterministic, unlike `RandomState`-seeded map hashers.
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() % self.num_shards as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_router_is_monotone_and_total() {
+        let router = RangeRouter::new(4, 0u64, 100);
+        let mut prev = 0;
+        for key in 0..=100u64 {
+            let shard = router.shard_of(&key);
+            assert!(shard < 4);
+            assert!(shard >= prev, "shard_of not monotone at {key}");
+            prev = shard;
+        }
+        // Out-of-bounds keys clamp to the edge shards.
+        assert_eq!(router.shard_of(&0), 0);
+        assert_eq!(ShardRouter::<u64>::shard_of(&router, &10_000), 3);
+    }
+
+    #[test]
+    fn range_split_offsets_agree_with_shard_of() {
+        let router = RangeRouter::new(3, 0u64, 90);
+        let batch = Batch::from_unsorted(vec![0u64, 10, 29, 30, 31, 60, 89, 90]);
+        let split = router.split(&batch);
+        assert_eq!(split.sub_batches().len(), 3);
+        assert_eq!(split.total_len(), batch.len());
+        for (shard, sub) in split.sub_batches().iter().enumerate() {
+            for key in sub.iter() {
+                assert_eq!(router.shard_of(key), shard, "key {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_router_is_stable_and_covers_all_shards() {
+        let router = HashRouter::new(4);
+        for key in 0..200u64 {
+            assert_eq!(router.shard_of(&key), router.shard_of(&key));
+            assert!(router.shard_of(&key) < 4);
+        }
+        let mut hit = [false; 4];
+        for key in 0..200u64 {
+            hit[router.shard_of(&key)] = true;
+        }
+        assert!(
+            hit.iter().all(|&h| h),
+            "200 keys left a shard empty: {hit:?}"
+        );
+    }
+
+    #[test]
+    fn scatter_stitch_restores_batch_order() {
+        let router = HashRouter::new(3);
+        let batch = Batch::from_unsorted((0..40u64).collect());
+        let split = router.split(&batch);
+        // Echo each key's low bit as its "result" per shard.
+        let per_shard: Vec<Vec<bool>> = split
+            .sub_batches()
+            .iter()
+            .map(|sub| sub.iter().map(|k| k % 2 == 0).collect())
+            .collect();
+        let mut out = Vec::new();
+        split.stitch(&per_shard, &mut out);
+        let expect: Vec<bool> = batch.iter().map(|k| k % 2 == 0).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "reported 1 flags for 2 keys")]
+    fn stitch_rejects_mismatched_result_runs() {
+        let router = RangeRouter::new(1, 0u64, 10);
+        let split = router.split(&Batch::from_unsorted(vec![1u64, 2]));
+        split.stitch(&[vec![true]], &mut Vec::new());
+    }
+
+    #[test]
+    fn single_shard_routers_degenerate_cleanly() {
+        let range = RangeRouter::new(1, 0u64, 10);
+        let hash = HashRouter::new(1);
+        let batch = Batch::from_unsorted(vec![3u64, 7, 99]);
+        for split in [
+            range.split(&batch),
+            ShardRouter::<u64>::split(&hash, &batch),
+        ] {
+            assert_eq!(split.sub_batches().len(), 1);
+            assert_eq!(split.sub_batches()[0], batch);
+        }
+    }
+}

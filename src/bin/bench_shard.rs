@@ -1,0 +1,394 @@
+//! Sharded-service-tier benchmark: `service::ShardedSet` over 1/2/4/8
+//! range-partitioned `combine::ConcurrentSet<_, IstSet>` shards, driven by
+//! batch clients issuing sorted batches of uniform and zipf-skewed keys.
+//!
+//! The bench box is single-core, so wall-clock scaling across shard counts
+//! is not the story here; the headline numbers are **algorithmic**: router
+//! overhead in ns per `shard_of` call and per split key, and the
+//! distribution counters — how a batch carves into per-shard sub-batches
+//! (`service.subbatch_size`) and what round sizes each shard's combiner
+//! commits (`combine.round_size`) as the shard count grows and as zipf
+//! skew concentrates keys.
+//!
+//! Timed runs are uninstrumented; a separate telemetry pass per
+//! configuration re-runs the tier and embeds the tier's `service.*`
+//! snapshot and every shard's `combine.*` snapshot in the JSON, alongside
+//! the measured disabled-instrumentation overhead (asserted under the
+//! 2 ns/op contract in release builds).
+//!
+//! Deterministic (seeded scripts, fixed configuration), std-only timing;
+//! one line per measurement on stdout, full results in `BENCH_shard.json`.
+//!
+//! ```sh
+//! cargo run --release --bin bench_shard
+//! # CI smoke: tiny sizes, one repetition
+//! BENCH_SHARD_QUICK=1 cargo run --release --bin bench_shard
+//! ```
+
+use std::hint::black_box;
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Instant;
+
+use pbist_repro::{
+    batchapi::Batch,
+    bench_util::{assert_disabled_overhead, max_of, mean_of},
+    combine::ConcurrentSet,
+    forkjoin::Pool,
+    pbist::IstSet,
+    service::{HashRouter, RangeRouter, ShardRouter, ShardedOptions, ShardedSet},
+    workloads::{self, OpKind},
+};
+
+/// Benchmark sizes; `quick` is the CI smoke configuration.
+struct Config {
+    /// Keys pre-loaded into the tier.
+    num_keys: usize,
+    /// Batches each batch client issues per run.
+    batches_per_client: usize,
+    /// Keys per batch (before dedup).
+    batch_len: usize,
+    /// Timed repetitions per measurement; best and mean are reported.
+    reps: usize,
+}
+
+const FULL: Config = Config {
+    num_keys: 100_000,
+    batches_per_client: 100,
+    batch_len: 1_000,
+    reps: 3,
+};
+
+const QUICK: Config = Config {
+    num_keys: 5_000,
+    batches_per_client: 10,
+    batch_len: 200,
+    reps: 1,
+};
+
+/// Shard counts measured.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Batch clients driving the tier concurrently.
+const BATCH_CLIENTS: usize = 2;
+/// Update-heavy operation mix: 2 inserts : 2 removes : 1 contains.
+const MIX: workloads::OpMix = (2, 2, 1);
+/// Zipf exponent for the skewed distribution.
+const ZIPF_THETA: f64 = 0.9;
+/// Workers in each shard's fork-join pool.
+const SHARD_POOL_THREADS: usize = 1;
+/// Workers in the tier's split-execution pool.
+const TIER_POOL_THREADS: usize = 2;
+/// Batches of at least this many keys fan sub-batches out on the tier pool.
+const PARALLEL_CUTOFF: usize = 256;
+
+/// Key universe; prefilling half of it keeps update hit rates near 50%.
+fn key_range(cfg: &Config) -> std::ops::Range<u64> {
+    0..(cfg.num_keys as u64 * 2)
+}
+
+/// One batch client's pre-validated script.
+type Script = Vec<(OpKind, Batch<u64>)>;
+
+struct Measurement {
+    dist: &'static str,
+    shards: usize,
+    best_keys_per_sec: f64,
+    mean_keys_per_sec: f64,
+}
+
+/// One configuration's instrumented run: the tier's `service.*` snapshot
+/// and each shard's `combine.*` snapshot.
+struct Telemetry {
+    dist: &'static str,
+    shards: usize,
+    service_json: String,
+    shard_jsons: Vec<String>,
+}
+
+fn main() {
+    let quick = std::env::var_os("BENCH_SHARD_QUICK").is_some();
+    let cfg = if quick { QUICK } else { FULL };
+    let range = key_range(&cfg);
+
+    let overhead_ns = assert_disabled_overhead();
+    println!("disabled-instrumentation overhead: {overhead_ns:.3} ns/op");
+
+    let prefill = workloads::uniform_keys_distinct(0x5EED, cfg.num_keys, range.clone());
+
+    let mut results = Vec::new();
+    let mut telemetry = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        for dist in ["uniform", "zipf"] {
+            let seed = 0xBADC0DE ^ (shards as u64) << 8 ^ (dist.len() as u64);
+            let scripts: Vec<Script> = (0..BATCH_CLIENTS as u64)
+                .map(|client| {
+                    let ops = match dist {
+                        "uniform" => workloads::mixed_op_batches(
+                            seed ^ client,
+                            cfg.batches_per_client,
+                            cfg.batch_len,
+                            range.clone(),
+                            MIX,
+                        ),
+                        _ => workloads::mixed_op_batches_zipf(
+                            seed ^ client,
+                            cfg.batches_per_client,
+                            cfg.batch_len,
+                            &prefill,
+                            ZIPF_THETA,
+                            MIX,
+                        ),
+                    };
+                    ops.into_iter()
+                        .map(|op| (op.kind, Batch::from_unsorted(op.keys)))
+                        .collect()
+                })
+                .collect();
+            let total_keys: usize = scripts
+                .iter()
+                .flat_map(|s| s.iter().map(|(_, b)| b.len()))
+                .sum();
+
+            let mut runs = Vec::with_capacity(cfg.reps);
+            for _ in 0..cfg.reps {
+                let secs = run_tier(&prefill, &scripts, shards, range.end);
+                runs.push(total_keys as f64 / secs);
+            }
+            let m = Measurement {
+                dist,
+                shards,
+                best_keys_per_sec: max_of(&runs),
+                mean_keys_per_sec: mean_of(&runs),
+            };
+            println!(
+                "{:>7} shards={}: best {:10.0} keys/s  mean {:10.0} keys/s",
+                m.dist, m.shards, m.best_keys_per_sec, m.mean_keys_per_sec
+            );
+            results.push(m);
+
+            // Telemetry pass: one untimed run over the same scripts,
+            // separate so the timed numbers stay clean.
+            let t = run_tier_telemetry(&prefill, &scripts, shards, range.end, dist);
+            telemetry.push(t);
+        }
+    }
+
+    let router_json = router_overhead_json(&cfg, &prefill, range.end);
+
+    let json = render_json(&cfg, quick, &results, overhead_ns, &router_json, &telemetry);
+    std::fs::write("BENCH_shard.json", &json).expect("write BENCH_shard.json");
+    println!("wrote BENCH_shard.json ({} measurements)", results.len());
+}
+
+/// Builds a fresh range-partitioned tier prefilled with `prefill`.
+fn build_tier(
+    prefill: &[u64],
+    shards: usize,
+    key_max: u64,
+) -> ShardedSet<u64, IstSet<u64>, RangeRouter<u64>> {
+    let router = RangeRouter::new(shards, 0, key_max);
+    let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); shards];
+    for &key in prefill {
+        per_shard[router.shard_of(&key)].push(key);
+    }
+    ShardedSet::with_options(
+        router,
+        per_shard
+            .into_iter()
+            .map(|keys| {
+                ConcurrentSet::new(
+                    IstSet::from_unsorted(keys),
+                    Pool::new(SHARD_POOL_THREADS).expect("shard pool"),
+                )
+            })
+            .collect(),
+        Pool::new(TIER_POOL_THREADS).expect("tier pool"),
+        ShardedOptions {
+            parallel_cutoff: PARALLEL_CUTOFF,
+        },
+    )
+}
+
+/// Releases one thread per script through a barrier and reports the span
+/// from the first client's start to the last client's finish (clients time
+/// themselves — see `bench_util::drive_clients` for why).
+fn drive_batch_clients(
+    set: &Arc<ShardedSet<u64, IstSet<u64>, RangeRouter<u64>>>,
+    scripts: &[Script],
+) -> f64 {
+    let barrier = Arc::new(Barrier::new(scripts.len()));
+    let spans: Vec<(Instant, Instant)> = thread::scope(|s| {
+        let handles: Vec<_> = scripts
+            .iter()
+            .map(|script| {
+                let set = Arc::clone(set);
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    barrier.wait();
+                    let start = Instant::now();
+                    for (kind, batch) in script {
+                        match kind {
+                            OpKind::Insert => set.batch_insert_report(batch, &mut out),
+                            OpKind::Remove => set.batch_remove_report(batch, &mut out),
+                            OpKind::Contains => set.batch_contains_report(batch, &mut out),
+                        }
+                        black_box(&out);
+                    }
+                    (start, Instant::now())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let start = spans.iter().map(|s| s.0).min().expect("a client");
+    let end = spans.iter().map(|s| s.1).max().expect("a client");
+    (end - start).as_secs_f64()
+}
+
+/// One timed run of the sharded tier.
+fn run_tier(prefill: &[u64], scripts: &[Script], shards: usize, key_max: u64) -> f64 {
+    let set = Arc::new(build_tier(prefill, shards, key_max));
+    drive_batch_clients(&set, scripts)
+}
+
+/// One *instrumented* run: same traffic, wall clock ignored, tier and
+/// per-shard registry snapshots captured.
+fn run_tier_telemetry(
+    prefill: &[u64],
+    scripts: &[Script],
+    shards: usize,
+    key_max: u64,
+    dist: &'static str,
+) -> Telemetry {
+    let set = Arc::new(build_tier(prefill, shards, key_max));
+    drive_batch_clients(&set, scripts);
+    let service = set.metrics();
+    let batches: usize = scripts.iter().map(Vec::len).sum();
+    assert_eq!(
+        service.counter("service.batches_split"),
+        Some(batches as u64),
+        "telemetry pass split the wrong number of batches"
+    );
+    let sizes = service
+        .histogram("service.subbatch_size")
+        .expect("subbatch_size histogram");
+    assert!(sizes.count() > 0, "telemetry pass recorded no sub-batches");
+    let shard_snaps = set.shard_metrics();
+    println!(
+        "   telemetry {:>7} shards={}: {} batches split, sub-batch mean {:.1} keys, per-shard rounds {:?}",
+        dist,
+        shards,
+        batches,
+        sizes.mean(),
+        shard_snaps
+            .iter()
+            .map(|s| s.counter("combine.rounds").unwrap_or(0))
+            .collect::<Vec<_>>()
+    );
+    Telemetry {
+        dist,
+        shards,
+        service_json: service.to_json(),
+        shard_jsons: shard_snaps.iter().map(|s| s.to_json()).collect(),
+    }
+}
+
+/// Measures router costs in isolation: `shard_of` ns per call for the
+/// range and hash routers, and `split` ns per key for both split paths
+/// (contiguous carve vs per-key scatter), on a 4-way partition.
+fn router_overhead_json(cfg: &Config, prefill: &[u64], key_max: u64) -> String {
+    let range_router = RangeRouter::new(4, 0u64, key_max);
+    let hash_router = HashRouter::new(4);
+    let reps = if cfg.num_keys < 50_000 { 20 } else { 50 };
+
+    let range_ns = time_per(reps, prefill.len(), || {
+        let mut acc = 0usize;
+        for key in prefill {
+            acc = acc.wrapping_add(range_router.shard_of(black_box(key)));
+        }
+        black_box(acc);
+    });
+    let hash_ns = time_per(reps, prefill.len(), || {
+        let mut acc = 0usize;
+        for key in prefill {
+            acc = acc.wrapping_add(hash_router.shard_of(black_box(key)));
+        }
+        black_box(acc);
+    });
+    println!("router shard_of: range {range_ns:.1} ns/key  hash {hash_ns:.1} ns/key");
+
+    let batch = Batch::from_unsorted(prefill.to_vec());
+    let range_split_ns = time_per(reps, batch.len(), || {
+        black_box(range_router.split(black_box(&batch)));
+    });
+    let hash_split_ns = time_per(reps, batch.len(), || {
+        black_box(hash_router.split(black_box(&batch)));
+    });
+    println!("router split:    range {range_split_ns:.1} ns/key  hash {hash_split_ns:.1} ns/key");
+
+    format!(
+        "{{\"shards\": 4, \"range_shard_of_ns\": {range_ns:.2}, \"hash_shard_of_ns\": {hash_ns:.2}, \
+         \"range_split_ns_per_key\": {range_split_ns:.2}, \"hash_split_ns_per_key\": {hash_split_ns:.2}}}"
+    )
+}
+
+/// Best-of-`reps` nanoseconds per item for `f`, which processes `items`
+/// items per invocation.
+fn time_per(reps: usize, items: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        let ns = start.elapsed().as_secs_f64() * 1e9 / items as f64;
+        best = best.min(ns);
+    }
+    best
+}
+
+fn render_json(
+    cfg: &Config,
+    quick: bool,
+    results: &[Measurement],
+    overhead_ns: f64,
+    router_json: &str,
+    telemetry: &[Telemetry],
+) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"shard\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"quick\": {quick}, \"num_keys\": {}, \"batches_per_client\": {}, \"batch_len\": {}, \"batch_clients\": {BATCH_CLIENTS}, \"reps\": {}, \"mix\": [2, 2, 1], \"zipf_theta\": {ZIPF_THETA}, \"shard_pool_threads\": {SHARD_POOL_THREADS}, \"tier_pool_threads\": {TIER_POOL_THREADS}, \"parallel_cutoff\": {PARALLEL_CUTOFF}}},\n",
+        cfg.num_keys, cfg.batches_per_client, cfg.batch_len, cfg.reps
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"dist\": \"{}\", \"shards\": {}, \"best_keys_per_sec\": {:.0}, \"mean_keys_per_sec\": {:.0}}}{}\n",
+            m.dist,
+            m.shards,
+            m.best_keys_per_sec,
+            m.mean_keys_per_sec,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"router_overhead\": {router_json},\n"));
+    json.push_str("  \"metrics\": {\n");
+    json.push_str(&format!(
+        "    \"disabled_overhead_ns\": {overhead_ns:.4},\n"
+    ));
+    json.push_str("    \"tier_runs\": [\n");
+    for (i, t) in telemetry.iter().enumerate() {
+        let shards = t.shard_jsons.join(", ");
+        json.push_str(&format!(
+            "      {{\"dist\": \"{}\", \"shards\": {}, \"service\": {}, \"per_shard\": [{shards}]}}{}\n",
+            t.dist,
+            t.shards,
+            t.service_json,
+            if i + 1 < telemetry.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
+    json
+}

@@ -10,6 +10,7 @@ pub use forkjoin;
 pub use obs;
 pub use parprim;
 pub use pbist;
+pub use service;
 pub use workloads;
 
 pub mod bench_util;
