@@ -131,6 +131,10 @@ impl<K: Ord + Clone + Send + Sync> BatchedSet<K> for SortedArraySet<K> {
         removed
     }
 
+    fn collect_keys(&self) -> Vec<K> {
+        self.keys.clone()
+    }
+
     // Report variants: small batches (where per-batch allocation overhead
     // actually shows — the flat-combining round loop) fill the reused buffer
     // with a sequential scan; large batches keep the parallel fan-out and

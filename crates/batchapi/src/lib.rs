@@ -13,6 +13,9 @@
 //!   `batch_remove` together with the shared point accessors (`len`, `rank`,
 //!   `min`/`max`, …), so benchmark harnesses and tests drive any backend
 //!   through one interface.
+//! * [`KeyCodec`] — a fixed-width, order-preserving byte encoding for keys,
+//!   the serialisation contract the durability tier writes its log records
+//!   and snapshots in.
 //!
 //! The crate is deliberately dependency-free (std only): it defines the
 //! contract, while `pbist`, `baselines`, … provide the parallel
@@ -219,6 +222,93 @@ impl<K> Deref for Batch<K> {
     }
 }
 
+/// A key type with a fixed-width, order-preserving byte encoding.
+///
+/// The durability tier serialises keys into write-ahead-log records and
+/// snapshot files; a *fixed* width keeps records self-describing from their
+/// length prefix alone (no per-key length bytes), and an *order-preserving*
+/// encoding (`a < b` iff `encode(a) < encode(b)` bytewise) means on-disk
+/// key runs stay sorted exactly when the in-memory batch was, so a snapshot
+/// can be validated — and bulk-loaded — without re-sorting.
+///
+/// Unsigned integers encode big-endian; signed integers flip the sign bit
+/// first (offset-binary), which maps the `i64` number line monotonically
+/// onto the `u64` byte order.
+///
+/// ```
+/// use batchapi::KeyCodec;
+///
+/// let mut buf = [0u8; 8];
+/// 0x0102_0304_0506_0708u64.encode(&mut buf);
+/// assert_eq!(buf, [1, 2, 3, 4, 5, 6, 7, 8]);
+/// assert_eq!(u64::decode(&buf), 0x0102_0304_0506_0708);
+///
+/// let mut neg = [0u8; 8];
+/// let mut pos = [0u8; 8];
+/// (-5i64).encode(&mut neg);
+/// 5i64.encode(&mut pos);
+/// assert!(neg < pos, "byte order follows key order");
+/// ```
+pub trait KeyCodec: Sized {
+    /// Exact number of bytes [`KeyCodec::encode`] writes and
+    /// [`KeyCodec::decode`] reads.
+    const WIDTH: usize;
+
+    /// Writes the key into `buf`, which is exactly [`KeyCodec::WIDTH`]
+    /// bytes long.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `buf.len() != Self::WIDTH`.
+    fn encode(&self, buf: &mut [u8]);
+
+    /// Reads a key back out of a [`KeyCodec::WIDTH`]-byte buffer written by
+    /// [`KeyCodec::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `buf.len() != Self::WIDTH`.
+    fn decode(buf: &[u8]) -> Self;
+}
+
+macro_rules! unsigned_key_codec {
+    ($($ty:ty),*) => {$(
+        impl KeyCodec for $ty {
+            const WIDTH: usize = std::mem::size_of::<$ty>();
+
+            fn encode(&self, buf: &mut [u8]) {
+                buf.copy_from_slice(&self.to_be_bytes());
+            }
+
+            fn decode(buf: &[u8]) -> $ty {
+                <$ty>::from_be_bytes(buf.try_into().expect("WIDTH bytes"))
+            }
+        }
+    )*};
+}
+
+unsigned_key_codec!(u8, u16, u32, u64, u128);
+
+macro_rules! signed_key_codec {
+    ($($ty:ty => $uty:ty),*) => {$(
+        impl KeyCodec for $ty {
+            const WIDTH: usize = std::mem::size_of::<$ty>();
+
+            fn encode(&self, buf: &mut [u8]) {
+                // Offset-binary: flipping the sign bit maps the signed
+                // number line monotonically onto unsigned byte order.
+                ((*self as $uty) ^ (1 << (<$ty>::BITS - 1))).encode(buf);
+            }
+
+            fn decode(buf: &[u8]) -> $ty {
+                (<$uty>::decode(buf) ^ (1 << (<$ty>::BITS - 1))) as $ty
+            }
+        }
+    )*};
+}
+
+signed_key_codec!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128);
+
 /// An ordered set of keys driven by sorted operation batches.
 ///
 /// This is the workspace's unified set interface: the interpolation search
@@ -309,6 +399,17 @@ pub trait BatchedSet<K: Ord> {
     {
         self.batch_remove(&Batch::from_unsorted(vec![key.clone()]))[0]
     }
+
+    /// Clones every key out of the set, in ascending order — the full
+    /// contents as one sorted run, ready to become a [`Batch`] without
+    /// re-validation.  The durability tier's snapshots are the motivating
+    /// consumer: snapshot = `collect_keys`, recovery = rebuild from the
+    /// collected batch and replay the log tail.  Implementations should
+    /// flatten in parallel where their structure allows (`pbist` forks per
+    /// subtree).
+    fn collect_keys(&self) -> Vec<K>
+    where
+        K: Clone;
 }
 
 #[cfg(test)]
@@ -465,6 +566,49 @@ mod tests {
             self.0.retain(|k| batch.binary_search(k).is_err());
             flags
         }
+        fn collect_keys(&self) -> Vec<u64> {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn collect_keys_returns_sorted_contents() {
+        let set = ToySet(vec![2, 4, 6]);
+        let keys = set.collect_keys();
+        assert_eq!(keys, vec![2, 4, 6]);
+        assert!(Batch::from_sorted(keys).is_ok(), "collects a valid batch");
+    }
+
+    #[test]
+    fn key_codec_round_trips_and_preserves_order() {
+        fn check<K: KeyCodec + Ord + Copy + std::fmt::Debug>(samples: &[K]) {
+            let mut encoded: Vec<(Vec<u8>, K)> = samples
+                .iter()
+                .map(|k| {
+                    let mut buf = vec![0u8; K::WIDTH];
+                    k.encode(&mut buf);
+                    assert_eq!(K::decode(&buf), *k, "round trip of {k:?}");
+                    (buf, *k)
+                })
+                .collect();
+            // Bytewise order must agree with key order.
+            encoded.sort();
+            let mut keys: Vec<K> = encoded.into_iter().map(|(_, k)| k).collect();
+            let mut sorted = keys.clone();
+            sorted.sort();
+            keys.dedup();
+            sorted.dedup();
+            assert_eq!(keys, sorted, "byte order disagrees with key order");
+        }
+        check::<u64>(&[0, 1, 42, u64::MAX / 2, u64::MAX]);
+        check::<u32>(&[0, 7, u32::MAX]);
+        check::<i64>(&[i64::MIN, -5, -1, 0, 1, 5, i64::MAX]);
+        check::<i32>(&[i32::MIN, -1, 0, i32::MAX]);
+        check::<u8>(&[0, 128, 255]);
+        check::<u128>(&[0, u128::from(u64::MAX) + 1, u128::MAX]);
+        check::<i128>(&[i128::MIN, -1, 0, i128::MAX]);
+        assert_eq!(<u64 as KeyCodec>::WIDTH, 8);
+        assert_eq!(<i32 as KeyCodec>::WIDTH, 4);
     }
 
     #[test]

@@ -82,6 +82,29 @@
 //! [`Options::log_rounds`] is set) so tests can replay it against a
 //! sequential oracle — `tests/combine_stress.rs` does exactly that.
 //!
+//! # Round sequence numbers and the staleness contract
+//!
+//! Every committed round carries a sequence number: strictly increasing,
+//! gap-free, starting at [`Options::first_seq`]` + 1` ([`Round::seq`] in the
+//! log).  Because the seq order *is* the linearisation order, a single
+//! `u64` names any prefix of the history, which is what two consumers need:
+//!
+//! * **Durable replay is idempotent.**  A write-ahead log downstream of
+//!   [`ConcurrentSet::take_rounds`] records each round under its seq; a
+//!   snapshot taken via [`ConcurrentSet::snapshot_keys`] records the
+//!   high-water mark it reflects.  Recovery loads the snapshot and applies
+//!   only records with `seq >` the mark — records at or below it (or
+//!   replayed twice across restarts) change nothing.
+//! * **Read-your-writes for stale readers.**  A future wait-free read path
+//!   (ROADMAP item 5) serves lookups from an atomically published snapshot
+//!   of the tree instead of entering a combiner round.  The contract such
+//!   reads need is exactly this numbering: a client that completed a write
+//!   in round *s* may read from any published snapshot whose mark is
+//!   `>= s` — its own write is visible — while snapshots with older marks
+//!   must be refused (or routed through the combiner).  Stamping rounds
+//!   here is deliberate pre-work for that item: the snapshot publisher
+//!   just pairs each published root with the seq it reflects.
+//!
 //! # Contract
 //!
 //! Operations must be called from threads *outside* the backing pool: a
@@ -180,6 +203,14 @@ pub struct RoundOp<K> {
 /// must reproduce every `result` — the stress suite's oracle check.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Round<K> {
+    /// The round's sequence number: rounds commit with strictly increasing,
+    /// gap-free sequence numbers starting at [`Options::first_seq`]` + 1`,
+    /// so the log order *is* the seq order and any prefix of the history is
+    /// named by a single `u64` high-water mark.  This is what makes
+    /// downstream replay idempotent (a durability tier skips records at or
+    /// below its snapshot's seq) and what a read-your-writes contract hangs
+    /// off (see the module docs' *staleness contract* section).
+    pub seq: u64,
     /// The committed operations, in linearisation order.
     pub ops: Vec<RoundOp<K>>,
 }
@@ -205,6 +236,13 @@ pub struct Options {
     /// reported alongside the spans), so it is safe to leave on in
     /// long-running services, unlike the round log.
     pub trace_capacity: usize,
+    /// Sequence number the round counter starts *after*: the first
+    /// committed round gets seq `first_seq + 1`.  `0` (the default) numbers
+    /// a fresh history `1, 2, 3, …`; a durability tier recovering an
+    /// existing history passes the highest sequence number it replayed, so
+    /// new rounds continue the old numbering and replay stays idempotent
+    /// across restarts.
+    pub first_seq: u64,
 }
 
 impl Default for Options {
@@ -213,6 +251,7 @@ impl Default for Options {
             pool_cutoff: 512,
             log_rounds: false,
             trace_capacity: 0,
+            first_seq: 0,
         }
     }
 }
@@ -330,6 +369,12 @@ pub struct ConcurrentSet<K, S> {
     combiner: AtomicBool,
     /// The backing batched set.  Touched only while holding `combiner`.
     set: UnsafeCell<S>,
+    /// Sequence number of the most recently committed round (starts at
+    /// [`Options::first_seq`]).  Advanced by the combiner for **every**
+    /// committed round, logged or not, so snapshot high-water marks stay
+    /// meaningful even when the round log is off.  Touched only while
+    /// holding `combiner`.
+    seq: UnsafeCell<u64>,
     /// Reused round buffers.  Touched only while holding `combiner`.
     scratch: UnsafeCell<Scratch<K>>,
     /// Fork-join pool executing rounds of at least `pool_cutoff` ops.
@@ -424,6 +469,7 @@ where
             ingress: AtomicPtr::new(ptr::null_mut()),
             combiner: AtomicBool::new(false),
             set: UnsafeCell::new(set),
+            seq: UnsafeCell::new(options.first_seq),
             scratch: UnsafeCell::new(Scratch {
                 contains: Lane::new(),
                 insert: Lane::new(),
@@ -572,6 +618,7 @@ where
                     run(set, out);
                 }
                 debug_assert_eq!(out.len(), batch.len(), "one flag per batch key");
+                let seq = self.next_seq();
                 if let Some(log) = &self.log {
                     let ops = batch
                         .iter()
@@ -582,7 +629,7 @@ where
                             result,
                         })
                         .collect();
-                    log.lock().unwrap().push(Round { ops });
+                    log.lock().unwrap().push(Round { seq, ops });
                 }
                 self.metrics.batch_rounds.add_single_writer(1);
                 self.bump_stats(total, pooled);
@@ -630,6 +677,37 @@ where
     /// [`ConcurrentSet::len`].
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Collects every key currently in the set (ascending) together with
+    /// the sequence number of the last committed round — a consistent
+    /// snapshot *and* its high-water mark, taken at one linearisation
+    /// point.
+    ///
+    /// Like [`ConcurrentSet::len`], the caller becomes the combiner and
+    /// flushes pending published ops first, so the returned contents
+    /// reflect exactly the rounds with seq ≤ the returned mark and nothing
+    /// newer.  This pair is the durability tier's snapshot primitive:
+    /// persist the keys, record the mark, and replay only log records with
+    /// seq above it.
+    pub fn snapshot_keys(&self) -> (Vec<K>, u64) {
+        loop {
+            self.check_poisoned();
+            if self.lock_combiner() {
+                let _unlock = CombinerGuard { set: self };
+                // Post-CAS re-check, as in `try_fast_op`.
+                self.check_poisoned();
+                self.combine_round();
+                // SAFETY: we hold the combiner flag — exclusive access to
+                // the set and the seq counter.
+                let keys = unsafe { &*self.set.get() }.collect_keys();
+                let seq = unsafe { *self.seq.get() };
+                return (keys, seq);
+            }
+            self.wait_until(|| {
+                !self.combiner.load(Ordering::Acquire) || self.poisoned.load(Ordering::Acquire)
+            });
+        }
     }
 
     /// Snapshot of the combining counters.
@@ -750,8 +828,10 @@ where
             OpKind::Remove => set.remove_one(key),
             OpKind::Contains => set.contains(key),
         };
+        let seq = self.next_seq();
         if let Some(log) = &self.log {
             log.lock().unwrap().push(Round {
+                seq,
                 ops: vec![RoundOp {
                     kind,
                     key: key.clone(),
@@ -834,6 +914,19 @@ where
         self.check_poisoned();
         self.combine_round();
         true
+    }
+
+    /// Allocates the sequence number for a round about to commit.  Caller
+    /// must hold the combiner flag; successive combiners hand the counter
+    /// off through the flag's Release/Acquire pair, so seqs are strictly
+    /// increasing and gap-free in commit order.
+    fn next_seq(&self) -> u64 {
+        // SAFETY: combiner-exclusive (like `set` and `scratch`).
+        unsafe {
+            let seq = &mut *self.seq.get();
+            *seq += 1;
+            *seq
+        }
     }
 
     fn lock_combiner(&self) -> bool {
@@ -1010,8 +1103,9 @@ where
         // is stored its client may return and immediately `take_rounds`,
         // which must already contain every round whose results have been
         // observed.
+        let seq = self.next_seq();
         if let (Some(log), Some(round)) = (&self.log, logged) {
-            log.lock().unwrap().push(Round { ops: round });
+            log.lock().unwrap().push(Round { seq, ops: round });
         }
 
         // Completion: after each `done` store the owning client may pop the
@@ -1158,6 +1252,9 @@ mod tests {
             self.0.retain(|k| batch.binary_search(k).is_err());
             flags
         }
+        fn collect_keys(&self) -> Vec<u64> {
+            self.0.clone()
+        }
     }
 
     fn fresh(log: bool) -> ConcurrentSet<u64, VecSet> {
@@ -1224,6 +1321,59 @@ mod tests {
     }
 
     #[test]
+    fn rounds_carry_gap_free_sequence_numbers() {
+        let set = fresh(true);
+        assert!(set.insert(1));
+        set.batch_insert(&Batch::from_unsorted(vec![2u64, 3]));
+        assert!(set.contains(&2));
+        assert!(set.remove(&1));
+        let rounds = set.take_rounds();
+        let seqs: Vec<u64> = rounds.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4], "fresh history numbers from 1");
+
+        // Numbering continues across take_rounds drains.
+        set.insert(9);
+        assert_eq!(set.take_rounds()[0].seq, 5);
+
+        // first_seq seeds the counter (the recovery path).
+        let resumed = ConcurrentSet::with_options(
+            VecSet(Vec::new()),
+            Pool::new(1).unwrap(),
+            Options {
+                pool_cutoff: 4,
+                log_rounds: true,
+                first_seq: 41,
+                ..Options::default()
+            },
+        );
+        resumed.insert(7);
+        assert_eq!(resumed.take_rounds()[0].seq, 42);
+    }
+
+    #[test]
+    fn snapshot_keys_pairs_contents_with_their_seq() {
+        let set = fresh(true);
+        let (keys, seq) = set.snapshot_keys();
+        assert!(keys.is_empty());
+        assert_eq!(seq, 0, "no rounds committed yet");
+
+        set.insert(5);
+        set.batch_insert(&Batch::from_unsorted(vec![1u64, 9]));
+        set.remove(&9);
+        let (keys, seq) = set.snapshot_keys();
+        assert_eq!(keys, vec![1, 5]);
+        assert_eq!(seq, 3, "mark equals the last committed round's seq");
+        assert_eq!(
+            set.take_rounds().last().unwrap().seq,
+            seq,
+            "log agrees with the snapshot mark"
+        );
+        // Snapshot rounds commit no ops and consume no seq.
+        set.insert(2);
+        assert_eq!(set.take_rounds()[0].seq, 4);
+    }
+
+    #[test]
     fn stats_count_pooled_rounds() {
         // pool_cutoff 4 and single-op rounds: nothing goes through the pool.
         let set = fresh(false);
@@ -1277,6 +1427,9 @@ mod tests {
         }
         fn batch_remove(&mut self, batch: &Batch<u64>) -> Vec<bool> {
             self.0.batch_remove(batch)
+        }
+        fn collect_keys(&self) -> Vec<u64> {
+            self.0.collect_keys()
         }
     }
 

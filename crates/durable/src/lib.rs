@@ -1,0 +1,979 @@
+//! Durability tier: a write-ahead log, snapshots and crash recovery
+//! layered over the flat-combining front-end's commit log.
+//!
+//! The flat-combining combiner already produces exactly the artefact a
+//! write-ahead log needs: a totally-ordered stream of committed rounds,
+//! each stamped with a gap-free sequence number (`combine::Round::seq`).
+//! [`DurableSet`] drains that stream ([`combine::ConcurrentSet::take_rounds`])
+//! and appends one checksummed record per *mutation* round to an
+//! append-only segment log, amortising `fsync` over groups of rounds the
+//! same way combining amortises tree descents over groups of keys.
+//!
+//! # The protocol
+//!
+//! * **Append.**  Every operation, after completing in memory, *publishes*:
+//!   it takes the wal lock, drains all committed-but-unappended rounds
+//!   (its own round among them — the combiner logs a round before
+//!   releasing any of its clients), strips reads and ineffective ops, and
+//!   appends the remainder as records.  The wal lock makes append order
+//!   equal commit order, so the log *is* the linearisation.
+//! * **Group commit.**  Records accumulate until
+//!   [`DurableOptions::group_commit`] of them are pending, then one
+//!   `fsync` covers them all.  `group_commit: 1` fsyncs on every mutation
+//!   round — each op is durable before its call returns; larger groups
+//!   trade bounded post-crash loss for an order of magnitude fewer
+//!   fsyncs.  [`DurableSet::durable_seq`] is the contract either way: it
+//!   advances only when records reach disk, so state at or below it
+//!   survives any crash.  [`DurableSet::sync`] forces the boundary.
+//! * **Snapshot.**  Every [`DurableOptions::snapshot_every`] appended
+//!   records (or on [`DurableSet::snapshot`]), the set's full contents are
+//!   captured at one linearisation point ([`combine::ConcurrentSet::snapshot_keys`]),
+//!   written to a snapshot file, and committed by atomically renaming a
+//!   manifest into place.  At that moment every record in every log
+//!   segment has seq at or below the snapshot's, so *all* segments are
+//!   deleted and the log restarts empty — bounded disk, bounded recovery.
+//! * **Recover.**  [`DurableSet::open`] loads the manifest's snapshot (if
+//!   any) and replays log records with seq above it, in segment-name
+//!   order, into a fresh backend.  A torn final record — the signature of
+//!   a crash mid-append — ends replay cleanly and is truncated away; the
+//!   new combiner's numbering resumes from the recovered high-water seq
+//!   ([`combine::Options::first_seq`]), so a later recovery replays the
+//!   continued history without seq collisions.
+//!
+//! # Crash-consistency contract
+//!
+//! After `SIGKILL` at any point, reopening the directory yields a set
+//! whose contents equal the committed history up to some round boundary
+//! at or after the last fsynced record — never a torn state, never a
+//! reordering, and always including every round at or below the
+//! `durable_seq` the crashed process last observed.  The kill-9 test in
+//! `tests/durable_crash.rs` and the property suite in
+//! `crates/durable/tests/recovery_props.rs` enforce exactly this.
+//!
+//! What is *not* promised: rounds above `durable_seq` (acknowledged in
+//! memory, not yet fsynced under `group_commit > 1`) may or may not
+//! survive — whole trailing rounds, never fractions of one.
+//!
+//! # Example
+//!
+//! ```
+//! use durable::{DurableOptions, DurableSet};
+//! use pbist::IstSet;
+//! use forkjoin::Pool;
+//!
+//! let dir = std::env::temp_dir().join(format!("durable-doc-{}", std::process::id()));
+//! let open = |pool| {
+//!     DurableSet::open(&dir, pool, DurableOptions::default(), |batch| {
+//!         IstSet::from_batch(&batch)
+//!     })
+//! };
+//!
+//! let set = open(Pool::new(2).unwrap()).unwrap();
+//! assert!(set.insert(7).unwrap());
+//! set.sync().unwrap();
+//! set.close().unwrap();
+//!
+//! // A new process (here: a new handle) recovers the history.
+//! let set = open(Pool::new(2).unwrap()).unwrap();
+//! assert!(set.contains(&7).unwrap());
+//! set.close().unwrap();
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+mod log;
+mod record;
+mod snapshot;
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use batchapi::{Batch, BatchedSet, KeyCodec};
+use combine::{ConcurrentSet, OpKind, Options};
+use forkjoin::Pool;
+use obs::{Counter, Gauge, Histogram, Registry};
+
+use crate::log::{list_segments, replay_segment, truncate_segment, SegmentEnd, SegmentLog};
+use crate::record::{encode_record, WalOp};
+use crate::snapshot::{
+    commit_manifest, load_snapshot, read_manifest, remove_stale_snapshots, snapshot_path,
+    write_snapshot,
+};
+
+/// Construction-time knobs for [`DurableSet`].
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// Mutation records per `fsync`: `1` makes every op durable before it
+    /// returns; `n` lets up to `n` records ride one fsync (bounded loss on
+    /// crash — see the crate docs' contract).  Values below 1 behave as 1.
+    pub group_commit: u64,
+    /// Appended records between automatic snapshots; `0` (the default)
+    /// never snapshots automatically — [`DurableSet::snapshot`] still
+    /// works on demand.
+    pub snapshot_every: u64,
+    /// Size threshold, in bytes, at which the active log segment rotates.
+    pub segment_bytes: u64,
+    /// Options for the wrapped flat-combining front-end.  `log_rounds`
+    /// and `first_seq` are overwritten — the WAL *is* the round log's
+    /// consumer, and recovery dictates the numbering.
+    pub combine: Options,
+}
+
+impl Default for DurableOptions {
+    fn default() -> DurableOptions {
+        DurableOptions {
+            group_commit: 8,
+            snapshot_every: 0,
+            segment_bytes: 8 << 20,
+            combine: Options::default(),
+        }
+    }
+}
+
+/// The wal-side mutable state, all under one mutex: the lock is what makes
+/// WAL append order equal round commit order.
+#[derive(Debug)]
+struct Wal {
+    log: SegmentLog,
+    /// Seq of the last record appended (starts at the recovery mark).
+    appended_seq: u64,
+    /// Highest segment name ever created; names must strictly increase so
+    /// that segment-name order stays append order (see `next_name`).
+    last_name: u64,
+    /// Records appended since the last fsync.
+    pending: u64,
+    /// Records appended since the last snapshot.
+    since_snapshot: u64,
+    /// Encode scratch, reused across appends.
+    buf: Vec<u8>,
+    /// Set when an I/O error left the on-disk log in an unknown state;
+    /// every later durability call refuses, because appending past a
+    /// possibly-partial record would corrupt the log.  The in-memory set
+    /// keeps working; reopening the directory recovers the durable prefix.
+    wedged: bool,
+}
+
+impl Wal {
+    /// The name for the next segment: past the last appended record *and*
+    /// past every name already used (post-snapshot segments can carry
+    /// late-drained records numbered below their name, so `appended_seq`
+    /// alone could repeat a name and truncate a live segment).
+    fn next_name(&self) -> u64 {
+        (self.appended_seq + 1).max(self.last_name + 1)
+    }
+}
+
+/// Handles to the `durable.*` metrics, resolved once at construction.
+#[derive(Debug)]
+struct Metrics {
+    rounds_drained: Arc<Counter>,
+    records_appended: Arc<Counter>,
+    bytes_written: Arc<Counter>,
+    fsyncs: Arc<Counter>,
+    snapshots: Arc<Counter>,
+    segments_created: Arc<Counter>,
+    segments_deleted: Arc<Counter>,
+    torn_tails: Arc<Counter>,
+    group_size: Arc<Histogram>,
+    recovery_replayed: Arc<Histogram>,
+    appended_seq: Arc<Gauge>,
+    durable_seq: Arc<Gauge>,
+    snapshot_seq: Arc<Gauge>,
+}
+
+impl Metrics {
+    fn new(registry: &Registry) -> Metrics {
+        Metrics {
+            rounds_drained: registry.counter("durable.rounds_drained"),
+            records_appended: registry.counter("durable.records_appended"),
+            bytes_written: registry.counter("durable.bytes_written"),
+            fsyncs: registry.counter("durable.fsyncs"),
+            snapshots: registry.counter("durable.snapshots"),
+            segments_created: registry.counter("durable.segments_created"),
+            segments_deleted: registry.counter("durable.segments_deleted"),
+            torn_tails: registry.counter("durable.torn_tails"),
+            group_size: registry.histogram("durable.group_size"),
+            recovery_replayed: registry.histogram("durable.recovery_replayed"),
+            appended_seq: registry.gauge("durable.appended_seq"),
+            durable_seq: registry.gauge("durable.durable_seq"),
+            snapshot_seq: registry.gauge("durable.snapshot_seq"),
+        }
+    }
+}
+
+/// A durable concurrent set: a [`combine::ConcurrentSet`] whose committed
+/// rounds are appended to an on-disk write-ahead log, checkpointed by
+/// snapshots, and recovered by [`DurableSet::open`].  See the crate docs
+/// for the protocol and the crash-consistency contract.
+///
+/// Operations return `io::Result`: besides its own round, each call may
+/// drain and append *other* clients' rounds and trip the group-commit
+/// fsync, any of which can fail.  After an error the instance is
+/// *wedged* — later calls fail fast — and reopening the directory
+/// recovers everything durable up to that point.
+pub struct DurableSet<K, S>
+where
+    K: Ord + Clone + Send + Sync + KeyCodec,
+    S: BatchedSet<K> + Send,
+{
+    inner: ConcurrentSet<K, S>,
+    wal: Mutex<Wal>,
+    dir: PathBuf,
+    group_commit: u64,
+    snapshot_every: u64,
+    registry: Registry,
+    metrics: Metrics,
+}
+
+impl<K, S> DurableSet<K, S>
+where
+    K: Ord + Clone + Send + Sync + KeyCodec,
+    S: BatchedSet<K> + Send,
+{
+    /// Opens (creating if absent) the durable set rooted at `dir`,
+    /// recovering any existing history: load the manifest's snapshot,
+    /// replay the log tail above it, truncate a torn final record, and
+    /// seed a fresh backend via `make_backend` (e.g.
+    /// `IstSet::from_batch`).  Large recovered batches build on `pool`,
+    /// which the front-end then uses for large rounds.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or `InvalidData` when a *committed* artefact (the
+    /// manifest or the snapshot it points to) is damaged — that is real
+    /// corruption, unlike a torn log tail, which is an expected crash
+    /// signature and recovered from silently.
+    pub fn open<P, F>(
+        dir: P,
+        pool: Pool,
+        options: DurableOptions,
+        make_backend: F,
+    ) -> io::Result<DurableSet<K, S>>
+    where
+        P: AsRef<Path>,
+        F: FnOnce(Batch<K>) -> S,
+    {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let registry = Registry::new();
+        let metrics = Metrics::new(&registry);
+
+        // 1. The snapshot, if one was ever committed.
+        let mut contents: BTreeSet<K> = BTreeSet::new();
+        let mut snap_seq = 0u64;
+        if let Some((seq, path)) = read_manifest(&dir)? {
+            let (file_seq, keys) = load_snapshot::<K>(&path)?;
+            if file_seq != seq {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "manifest says seq {seq} but snapshot {} says {file_seq}",
+                        path.display()
+                    ),
+                ));
+            }
+            snap_seq = seq;
+            contents.extend(keys);
+        }
+        metrics.snapshot_seq.set(snap_seq);
+
+        // 2. Replay the log tail in segment-name (= append) order.  A
+        //    record seq that fails to strictly increase is treated like a
+        //    checksum failure: the valid log ends there.
+        let segments = list_segments(&dir)?;
+        let mut max_seq = snap_seq;
+        let mut last_record_seq = 0u64;
+        let mut replayed = 0u64;
+        let mut tear: Option<(usize, u64)> = None;
+        for (i, (_, path)) in segments.iter().enumerate() {
+            let end = replay_segment::<K, _>(path, |record| {
+                if record.seq <= last_record_seq {
+                    return false;
+                }
+                last_record_seq = record.seq;
+                if record.seq > snap_seq {
+                    for (op, key) in record.ops {
+                        match op {
+                            WalOp::Insert => contents.insert(key),
+                            WalOp::Remove => contents.remove(&key),
+                        };
+                    }
+                    max_seq = record.seq;
+                    replayed += 1;
+                }
+                true
+            })?;
+            if let SegmentEnd::Torn(offset) = end {
+                tear = Some((i, offset));
+                break;
+            }
+        }
+
+        // 3. Heal a tear: truncate the damaged segment at the tear and
+        //    delete everything appended after it — point-in-time recovery
+        //    to the last valid record.
+        if let Some((i, offset)) = tear {
+            metrics.torn_tails.inc();
+            if offset == 0 {
+                // No valid prefix — not even the magic.  Truncating would
+                // leave a headerless file that replays as torn on every
+                // future open; delete it instead.
+                std::fs::remove_file(&segments[i].1)?;
+                metrics.segments_deleted.inc();
+            } else {
+                truncate_segment(&segments[i].1, offset)?;
+            }
+            for (_, path) in &segments[i + 1..] {
+                std::fs::remove_file(path)?;
+                metrics.segments_deleted.inc();
+            }
+            log::sync_dir(&dir)?;
+        }
+        metrics.recovery_replayed.record(replayed);
+
+        // 4. A fresh active segment, named past every survivor so that
+        //    name order stays append order across process lifetimes.
+        let highest_name = segments.iter().map(|&(seq, _)| seq).max().unwrap_or(0);
+        let name = (max_seq + 1).max(highest_name + 1);
+        let log = SegmentLog::create(&dir, name, options.segment_bytes.max(1))?;
+        metrics.segments_created.inc();
+
+        // 5. The backend, from the recovered contents, with round
+        //    numbering continuing where the history left off.
+        let keys: Vec<K> = contents.into_iter().collect();
+        let batch = Batch::from_sorted(keys).expect("BTreeSet iterates strictly ascending");
+        let backend = make_backend(batch);
+        let inner = ConcurrentSet::with_options(
+            backend,
+            pool,
+            Options {
+                log_rounds: true,
+                first_seq: max_seq,
+                ..options.combine
+            },
+        );
+
+        metrics.appended_seq.set(max_seq);
+        metrics.durable_seq.set(max_seq);
+        Ok(DurableSet {
+            inner,
+            wal: Mutex::new(Wal {
+                log,
+                appended_seq: max_seq,
+                last_name: name,
+                pending: 0,
+                since_snapshot: 0,
+                buf: Vec::new(),
+                wedged: false,
+            }),
+            dir,
+            group_commit: options.group_commit.max(1),
+            snapshot_every: options.snapshot_every,
+            registry,
+            metrics,
+        })
+    }
+
+    /// Inserts `key`; `Ok(true)` iff it was newly inserted.  Durable on
+    /// return only under `group_commit: 1` — otherwise durable once
+    /// [`DurableSet::durable_seq`] passes its round (see the crate docs).
+    pub fn insert(&self, key: K) -> io::Result<bool> {
+        let result = self.inner.insert(key);
+        self.publish()?;
+        Ok(result)
+    }
+
+    /// Removes `key`; `Ok(true)` iff it was present.
+    pub fn remove(&self, key: &K) -> io::Result<bool> {
+        let result = self.inner.remove(key);
+        self.publish()?;
+        Ok(result)
+    }
+
+    /// Membership test.  Reads change nothing, but the call still
+    /// publishes: it may drain and append *other* clients' committed
+    /// rounds, which is why it, too, can fail.
+    pub fn contains(&self, key: &K) -> io::Result<bool> {
+        let result = self.inner.contains(key);
+        self.publish()?;
+        Ok(result)
+    }
+
+    /// Batch insert; one combining round, one WAL record.
+    pub fn batch_insert(&self, batch: &Batch<K>) -> io::Result<Vec<bool>> {
+        let result = self.inner.batch_insert(batch);
+        self.publish()?;
+        Ok(result)
+    }
+
+    /// Batch remove; one combining round, one WAL record.
+    pub fn batch_remove(&self, batch: &Batch<K>) -> io::Result<Vec<bool>> {
+        let result = self.inner.batch_remove(batch);
+        self.publish()?;
+        Ok(result)
+    }
+
+    /// Batch membership test (publishes, like [`DurableSet::contains`]).
+    pub fn batch_contains(&self, batch: &Batch<K>) -> io::Result<Vec<bool>> {
+        let result = self.inner.batch_contains(batch);
+        self.publish()?;
+        Ok(result)
+    }
+
+    /// Number of keys in the set (in memory; does not publish).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the set is empty (in memory; does not publish).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Forces everything committed so far onto disk and returns the new
+    /// durable high-water sequence number.
+    pub fn sync(&self) -> io::Result<u64> {
+        self.with_wal(|this, wal| {
+            this.drain_into(wal)?;
+            this.fsync_wal(wal)?;
+            Ok(this.metrics.durable_seq.get())
+        })
+    }
+
+    /// Takes a snapshot now (regardless of [`DurableOptions::snapshot_every`])
+    /// and truncates the log; returns the snapshot's sequence number.
+    /// Everything at or below it is durable when this returns.
+    pub fn snapshot(&self) -> io::Result<u64> {
+        self.with_wal(|this, wal| {
+            this.drain_into(wal)?;
+            this.snapshot_wal(wal)
+        })
+    }
+
+    /// The durable high-water mark: every round with seq at or below this
+    /// has reached disk (via fsynced records or a committed snapshot) and
+    /// survives any crash.
+    pub fn durable_seq(&self) -> u64 {
+        self.metrics.durable_seq.get()
+    }
+
+    /// Snapshot of the `durable.*` metrics (see the README's metrics
+    /// table).  The wrapped front-end's `combine.*` metrics live on
+    /// [`DurableSet::inner`]`.metrics()`.
+    pub fn metrics(&self) -> obs::Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// The wrapped flat-combining front-end, for its stats, metrics and
+    /// traces.  Issuing *writes* through it does not lose them — they are
+    /// drained on the next publish — but they bypass group commit's
+    /// timing, so their durability point is some later client's call.
+    pub fn inner(&self) -> &ConcurrentSet<K, S> {
+        &self.inner
+    }
+
+    /// Drains and fsyncs, then closes.  [`Drop`] does the same on a best-
+    /// effort basis; `close` is the variant that reports the error.
+    pub fn close(self) -> io::Result<()> {
+        self.sync().map(|_| ())
+    }
+
+    /// The post-op durability step: under the wal lock, drain every
+    /// committed round, append the mutations, and run group commit and
+    /// the snapshot policy.  See the crate docs' protocol section.
+    fn publish(&self) -> io::Result<()> {
+        self.with_wal(|this, wal| {
+            this.drain_into(wal)?;
+            if wal.pending >= this.group_commit {
+                this.fsync_wal(wal)?;
+            }
+            if this.snapshot_every > 0 && wal.since_snapshot >= this.snapshot_every {
+                this.snapshot_wal(wal)?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Runs `f` under the wal lock with wedge bookkeeping: refuse if a
+    /// previous call failed, wedge if this one does.
+    fn with_wal<T>(&self, f: impl FnOnce(&Self, &mut Wal) -> io::Result<T>) -> io::Result<T> {
+        let mut wal = self.wal.lock().unwrap();
+        if wal.wedged {
+            return Err(io::Error::other(
+                "durable set wedged by an earlier I/O error; reopen the directory to recover",
+            ));
+        }
+        let result = f(self, &mut wal);
+        if result.is_err() {
+            wal.wedged = true;
+        }
+        result
+    }
+
+    /// Drains the combiner's round log and appends one record per
+    /// mutation round.  Caller holds the wal lock.
+    fn drain_into(&self, wal: &mut Wal) -> io::Result<()> {
+        let rounds = self.inner.take_rounds();
+        if rounds.is_empty() {
+            return Ok(());
+        }
+        self.metrics.rounds_drained.add(rounds.len() as u64);
+        for round in &rounds {
+            // Keep only ops that changed state: reads replay to nothing,
+            // and a failed insert/remove is a no-op too.  Sequence gaps
+            // this leaves in the WAL are expected (crate docs).
+            let muts: Vec<(WalOp, &K)> = round
+                .ops
+                .iter()
+                .filter_map(|op| match op.kind {
+                    OpKind::Insert if op.result => Some((WalOp::Insert, &op.key)),
+                    OpKind::Remove if op.result => Some((WalOp::Remove, &op.key)),
+                    _ => None,
+                })
+                .collect();
+            if muts.is_empty() {
+                continue;
+            }
+            if wal.log.wants_rotation() {
+                // Seal the active segment before abandoning it: its
+                // records must never wait on a rotated-away fd.
+                self.fsync_wal(wal)?;
+                let name = wal.next_name();
+                wal.log.rotate(name)?;
+                wal.last_name = name;
+                self.metrics.segments_created.inc();
+            }
+            let mut buf = std::mem::take(&mut wal.buf);
+            buf.clear();
+            encode_record(round.seq, &muts, &mut buf);
+            let appended = wal.log.append(&buf);
+            self.metrics.bytes_written.add(buf.len() as u64);
+            wal.buf = buf;
+            appended?;
+            self.metrics.records_appended.inc();
+            wal.appended_seq = round.seq;
+            wal.pending += 1;
+            wal.since_snapshot += 1;
+            self.metrics.appended_seq.set(round.seq);
+        }
+        Ok(())
+    }
+
+    /// Fsyncs the active segment, advancing the durable mark over every
+    /// pending record.  Caller holds the wal lock.
+    fn fsync_wal(&self, wal: &mut Wal) -> io::Result<()> {
+        if wal.pending == 0 {
+            return Ok(());
+        }
+        wal.log.sync()?;
+        self.metrics.fsyncs.inc();
+        self.metrics.group_size.record(wal.pending);
+        wal.pending = 0;
+        self.metrics.durable_seq.set_max(wal.appended_seq);
+        Ok(())
+    }
+
+    /// Takes and commits a snapshot, then truncates the log.  Caller
+    /// holds the wal lock and has drained.
+    fn snapshot_wal(&self, wal: &mut Wal) -> io::Result<u64> {
+        // Seal what is already appended: the snapshot supersedes it, but
+        // if the snapshot fails mid-way the log must still stand alone.
+        self.fsync_wal(wal)?;
+
+        // One linearisation point: contents plus their high-water seq.
+        // Rounds committed before it but drained after will land in the
+        // *next* segment with seq <= snap — skipped at replay, harmless.
+        let (keys, snap_seq) = self.inner.snapshot_keys();
+        let name = write_snapshot(&self.dir, snap_seq, &keys)?;
+        commit_manifest(&self.dir, snap_seq, &name)?;
+        self.metrics.snapshots.inc();
+        self.metrics.snapshot_seq.set(snap_seq);
+        self.metrics.durable_seq.set_max(snap_seq);
+
+        // Every record in every segment now has seq <= snap_seq: the
+        // snapshot covers them all, so truncation deletes whole segments.
+        let survivors = list_segments(&self.dir)?;
+        let next = wal.next_name().max(snap_seq + 1);
+        wal.log.rotate(next)?;
+        wal.last_name = next;
+        self.metrics.segments_created.inc();
+        let active = log::segment_path(&self.dir, next);
+        for (_, path) in survivors {
+            if path != active {
+                std::fs::remove_file(&path)?;
+                self.metrics.segments_deleted.inc();
+            }
+        }
+        remove_stale_snapshots(&self.dir, &snapshot_path(&self.dir, snap_seq))?;
+        log::sync_dir(&self.dir)?;
+        wal.since_snapshot = 0;
+        Ok(snap_seq)
+    }
+}
+
+impl<K, S> Drop for DurableSet<K, S>
+where
+    K: Ord + Clone + Send + Sync + KeyCodec,
+    S: BatchedSet<K> + Send,
+{
+    fn drop(&mut self) {
+        // Best-effort final drain + fsync; `close()` is the error-
+        // reporting path.  Skip when wedged (appending could corrupt) or
+        // when the wal mutex is poisoned by a panicking thread.
+        let Ok(mut wal) = self.wal.lock() else { return };
+        if wal.wedged || self.inner.is_poisoned() {
+            return;
+        }
+        let _ = self
+            .drain_into(&mut wal)
+            .and_then(|()| self.fsync_wal(&mut wal));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::thread;
+
+    /// A plain sorted-vec backend, enough for unit tests.
+    struct VecSet {
+        keys: Vec<u64>,
+    }
+
+    impl VecSet {
+        fn from_batch(batch: Batch<u64>) -> VecSet {
+            VecSet {
+                keys: batch.into_vec(),
+            }
+        }
+    }
+
+    impl BatchedSet<u64> for VecSet {
+        fn len(&self) -> usize {
+            self.keys.len()
+        }
+        fn contains(&self, key: &u64) -> bool {
+            self.keys.binary_search(key).is_ok()
+        }
+        fn rank(&self, key: &u64) -> usize {
+            self.keys.partition_point(|k| k < key)
+        }
+        fn min(&self) -> Option<&u64> {
+            self.keys.first()
+        }
+        fn max(&self) -> Option<&u64> {
+            self.keys.last()
+        }
+        fn batch_contains(&self, batch: &Batch<u64>) -> Vec<bool> {
+            batch.iter().map(|k| self.contains(k)).collect()
+        }
+        fn batch_insert(&mut self, batch: &Batch<u64>) -> Vec<bool> {
+            batch
+                .as_slice()
+                .to_vec()
+                .iter()
+                .map(|k| self.insert_one(k))
+                .collect()
+        }
+        fn batch_remove(&mut self, batch: &Batch<u64>) -> Vec<bool> {
+            batch
+                .as_slice()
+                .to_vec()
+                .iter()
+                .map(|k| self.remove_one(k))
+                .collect()
+        }
+        fn insert_one(&mut self, key: &u64) -> bool {
+            match self.keys.binary_search(key) {
+                Ok(_) => false,
+                Err(at) => {
+                    self.keys.insert(at, *key);
+                    true
+                }
+            }
+        }
+        fn remove_one(&mut self, key: &u64) -> bool {
+            match self.keys.binary_search(key) {
+                Ok(at) => {
+                    self.keys.remove(at);
+                    true
+                }
+                Err(_) => false,
+            }
+        }
+        fn collect_keys(&self) -> Vec<u64> {
+            self.keys.clone()
+        }
+    }
+
+    static DIR_ID: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let id = DIR_ID.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "durable-lib-test-{}-{tag}-{id}",
+            std::process::id()
+        ))
+    }
+
+    fn open(dir: &Path, options: DurableOptions) -> DurableSet<u64, VecSet> {
+        DurableSet::open(dir, Pool::new(2).unwrap(), options, VecSet::from_batch).unwrap()
+    }
+
+    #[test]
+    fn fresh_open_write_reopen_recovers() {
+        let dir = scratch_dir("basic");
+        let set = open(&dir, DurableOptions::default());
+        assert!(set.is_empty());
+        assert!(set.insert(3).unwrap());
+        assert!(set.insert(1).unwrap());
+        assert!(!set.insert(3).unwrap());
+        assert!(set.remove(&1).unwrap());
+        assert!(set.contains(&3).unwrap());
+        set.close().unwrap();
+
+        let set = open(&dir, DurableOptions::default());
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(&3).unwrap());
+        assert!(!set.contains(&1).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_one_makes_every_op_durable_on_return() {
+        let dir = scratch_dir("group1");
+        let set = open(
+            &dir,
+            DurableOptions {
+                group_commit: 1,
+                ..DurableOptions::default()
+            },
+        );
+        for k in 0..10u64 {
+            set.insert(k).unwrap();
+            let appended = set.metrics().gauge("durable.appended_seq").unwrap();
+            assert_eq!(
+                set.durable_seq(),
+                appended,
+                "group_commit=1 leaves nothing pending"
+            );
+        }
+        let m = set.metrics();
+        assert_eq!(m.counter("durable.records_appended"), Some(10));
+        assert_eq!(m.counter("durable.fsyncs"), Some(10));
+        drop(set);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn larger_groups_amortise_fsyncs() {
+        let dir = scratch_dir("group8");
+        let set = open(
+            &dir,
+            DurableOptions {
+                group_commit: 64,
+                ..DurableOptions::default()
+            },
+        );
+        // Single-threaded, so each op is its own round/record: 64 records
+        // per fsync exactly.
+        for k in 0..128u64 {
+            set.insert(k).unwrap();
+        }
+        let m = set.metrics();
+        assert_eq!(m.counter("durable.records_appended"), Some(128));
+        assert_eq!(m.counter("durable.fsyncs"), Some(2));
+        let sizes = m.histogram("durable.group_size").unwrap();
+        assert_eq!(sizes.count(), 2);
+        assert_eq!(sizes.sum, 128);
+        // Ops beyond the durable mark are pending, not lost: sync flushes.
+        assert!(set.insert(1000).unwrap());
+        assert!(set.durable_seq() < set.metrics().gauge("durable.appended_seq").unwrap());
+        let durable = set.sync().unwrap();
+        assert_eq!(
+            durable,
+            set.metrics().gauge("durable.appended_seq").unwrap()
+        );
+        drop(set);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reads_and_failed_mutations_write_no_records() {
+        let dir = scratch_dir("noop");
+        let set = open(&dir, DurableOptions::default());
+        set.insert(5).unwrap();
+        let before = set.metrics().counter("durable.records_appended").unwrap();
+        assert!(set.contains(&5).unwrap());
+        assert!(!set.contains(&6).unwrap());
+        assert!(!set.insert(5).unwrap());
+        assert!(!set.remove(&99).unwrap());
+        let after = set.metrics().counter("durable.records_appended").unwrap();
+        assert_eq!(before, after, "no state change, no WAL record");
+        drop(set);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batches_recover_and_batch_results_survive() {
+        let dir = scratch_dir("batch");
+        let set = open(&dir, DurableOptions::default());
+        let ins = Batch::from_unsorted((0..100u64).map(|i| i * 3).collect());
+        assert!(set.batch_insert(&ins).unwrap().iter().all(|&b| b));
+        let rem = Batch::from_unsorted((0..50u64).map(|i| i * 6).collect());
+        assert!(set.batch_remove(&rem).unwrap().iter().all(|&b| b));
+        set.close().unwrap();
+
+        let set = open(&dir, DurableOptions::default());
+        assert_eq!(set.len(), 50);
+        let check = set.batch_contains(&ins).unwrap();
+        for (i, (key, hit)) in ins.iter().zip(check).enumerate() {
+            assert_eq!(hit, key % 6 != 0, "key {key} at {i}");
+        }
+        drop(set);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_truncates_the_log_and_still_recovers() {
+        let dir = scratch_dir("snap");
+        let set = open(&dir, DurableOptions::default());
+        for k in 0..200u64 {
+            set.insert(k).unwrap();
+        }
+        let snap_seq = set.snapshot().unwrap();
+        assert!(snap_seq >= 200);
+        assert_eq!(set.durable_seq(), snap_seq);
+        // Post-snapshot, exactly one (fresh, near-empty) segment remains.
+        let segments = list_segments(&dir).unwrap();
+        assert_eq!(segments.len(), 1);
+        // And the history continues past it.
+        for k in 200..230u64 {
+            set.insert(k).unwrap();
+        }
+        set.close().unwrap();
+
+        let set = open(&dir, DurableOptions::default());
+        assert_eq!(set.len(), 230);
+        let m = set.metrics();
+        assert_eq!(m.gauge("durable.snapshot_seq"), Some(snap_seq));
+        let replayed = m.histogram("durable.recovery_replayed").unwrap();
+        assert_eq!(replayed.count(), 1);
+        assert_eq!(replayed.sum, 30, "only the post-snapshot tail replays");
+        drop(set);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn automatic_snapshots_fire_on_the_configured_cadence() {
+        let dir = scratch_dir("autosnap");
+        let set = open(
+            &dir,
+            DurableOptions {
+                snapshot_every: 10,
+                ..DurableOptions::default()
+            },
+        );
+        for k in 0..35u64 {
+            set.insert(k).unwrap();
+        }
+        let m = set.metrics();
+        assert_eq!(m.counter("durable.snapshots"), Some(3));
+        drop(set);
+        let set = open(&dir, DurableOptions::default());
+        assert_eq!(set.len(), 35);
+        drop(set);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_rotation_keeps_every_record() {
+        let dir = scratch_dir("rotate");
+        let set = open(
+            &dir,
+            DurableOptions {
+                segment_bytes: 64,
+                ..DurableOptions::default()
+            },
+        );
+        for k in 0..100u64 {
+            set.insert(k).unwrap();
+        }
+        set.sync().unwrap();
+        assert!(
+            list_segments(&dir).unwrap().len() > 1,
+            "64-byte segments must have rotated"
+        );
+        drop(set);
+        let set = open(&dir, DurableOptions::default());
+        assert_eq!(set.len(), 100);
+        drop(set);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_recover_exactly() {
+        let dir = scratch_dir("threads");
+        let set = Arc::new(open(
+            &dir,
+            DurableOptions {
+                group_commit: 4,
+                ..DurableOptions::default()
+            },
+        ));
+        thread::scope(|s| {
+            for t in 0..4u64 {
+                let set = Arc::clone(&set);
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let key = t * 1_000 + i;
+                        set.insert(key).unwrap();
+                        if i % 3 == 0 {
+                            set.remove(&key).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        let expect: BTreeSet<u64> = (0..4u64)
+            .flat_map(|t| (0..200u64).map(move |i| (t, i)))
+            .filter(|&(_, i)| i % 3 != 0)
+            .map(|(t, i)| t * 1_000 + i)
+            .collect();
+        assert_eq!(set.len(), expect.len());
+        let set = Arc::into_inner(set).unwrap();
+        set.close().unwrap();
+
+        let set = open(&dir, DurableOptions::default());
+        assert_eq!(set.len(), expect.len());
+        let probe = Batch::from_unsorted(expect.iter().copied().collect());
+        assert!(set.batch_contains(&probe).unwrap().iter().all(|&b| b));
+        drop(set);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sequence_numbering_continues_across_reopen() {
+        let dir = scratch_dir("seqcont");
+        let set = open(&dir, DurableOptions::default());
+        for k in 0..5u64 {
+            set.insert(k).unwrap();
+        }
+        let before = set.metrics().gauge("durable.appended_seq").unwrap();
+        set.close().unwrap();
+
+        let set = open(&dir, DurableOptions::default());
+        set.insert(99).unwrap();
+        let after = set.metrics().gauge("durable.appended_seq").unwrap();
+        assert!(
+            after > before,
+            "new rounds must continue the old numbering ({after} vs {before})"
+        );
+        drop(set);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,236 @@
+//! The write-ahead log's record codec.
+//!
+//! One record per *mutation* round (pure-`Contains` rounds never reach the
+//! log — a membership test changes nothing, so replaying it would be
+//! wasted work and the WAL's sequence numbers are allowed to have gaps
+//! where read-only rounds committed).  The wire layout is
+//!
+//! ```text
+//! [payload_len: u32 LE][checksum: u64 LE]    <- header, 12 bytes
+//! [seq: u64 LE][n_ops: u32 LE]               <- payload ...
+//! n_ops x ([kind: u8][key: K::WIDTH bytes])
+//! ```
+//!
+//! The checksum is FNV-1a 64 over the payload bytes.  Decoding is strictly
+//! *prefix-tolerant*: any defect — a partial header, a partial payload, an
+//! implausible length, a checksum mismatch, an unknown kind byte — is
+//! reported as [`DecodeOutcome::Torn`] at the offending offset rather than
+//! an error, because on the recovery path every one of those is the same
+//! event: the valid log ends here.  Recovery truncates at that point and
+//! the history before it stands.
+
+use batchapi::KeyCodec;
+
+/// Bytes in a record header: `payload_len: u32` + `checksum: u64`.
+pub(crate) const RECORD_HEADER: usize = 4 + 8;
+
+/// Upper bound on a single record's payload, as a plausibility filter: a
+/// corrupted length field must not convince the replayer to wait for
+/// gigabytes of payload that never existed.  256 MiB is far above any real
+/// round (a round holds at most one op per client thread).
+pub(crate) const MAX_PAYLOAD: usize = 256 << 20;
+
+/// Op kind tags on the wire.  `Contains` has no tag: read-only ops are
+/// stripped before encoding.
+const KIND_INSERT: u8 = 0;
+const KIND_REMOVE: u8 = 1;
+
+/// FNV-1a 64-bit over `bytes` — tiny, allocation-free, std-only, and
+/// plenty to catch torn writes and bit rot (this guards against crashes,
+/// not adversaries).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One decoded mutation, replayed against a `BTreeSet` during recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WalOp {
+    /// The round inserted this key.
+    Insert,
+    /// The round removed this key.
+    Remove,
+}
+
+/// One decoded WAL record: a mutation round's sequence number and its
+/// surviving (non-`Contains`) operations in linearisation order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct WalRecord<K> {
+    pub(crate) seq: u64,
+    pub(crate) ops: Vec<(WalOp, K)>,
+}
+
+/// Appends one encoded record for `(seq, ops)` to `buf`.
+///
+/// `ops` must already be filtered down to mutations; the caller skips
+/// rounds whose mutation list is empty rather than writing empty records.
+pub(crate) fn encode_record<K: KeyCodec>(seq: u64, ops: &[(WalOp, &K)], buf: &mut Vec<u8>) {
+    let payload_len = 8 + 4 + ops.len() * (1 + K::WIDTH);
+    buf.reserve(RECORD_HEADER + payload_len);
+    let header_at = buf.len();
+    buf.extend_from_slice(&[0u8; RECORD_HEADER]);
+    let payload_at = buf.len();
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for (op, key) in ops {
+        buf.push(match op {
+            WalOp::Insert => KIND_INSERT,
+            WalOp::Remove => KIND_REMOVE,
+        });
+        let at = buf.len();
+        buf.resize(at + K::WIDTH, 0);
+        key.encode(&mut buf[at..at + K::WIDTH]);
+    }
+    debug_assert_eq!(buf.len() - payload_at, payload_len);
+    let checksum = fnv1a(&buf[payload_at..]);
+    buf[header_at..header_at + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    buf[header_at + 4..header_at + 12].copy_from_slice(&checksum.to_le_bytes());
+}
+
+/// What decoding found at one offset.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum DecodeOutcome<K> {
+    /// A valid record; `consumed` bytes advance the cursor past it.
+    Record {
+        record: WalRecord<K>,
+        consumed: usize,
+    },
+    /// The buffer ends exactly here — a cleanly-terminated log.
+    Clean,
+    /// The bytes from this offset on are not a valid record (torn final
+    /// write, bit rot, garbage).  The valid log ends at this offset.
+    Torn,
+}
+
+/// Decodes the record starting at `buf[at..]`.
+pub(crate) fn decode_record<K: KeyCodec>(buf: &[u8], at: usize) -> DecodeOutcome<K> {
+    let rest = &buf[at..];
+    if rest.is_empty() {
+        return DecodeOutcome::Clean;
+    }
+    if rest.len() < RECORD_HEADER {
+        return DecodeOutcome::Torn;
+    }
+    let payload_len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+    let checksum = u64::from_le_bytes(rest[4..12].try_into().unwrap());
+    if !(8 + 4..=MAX_PAYLOAD).contains(&payload_len) {
+        return DecodeOutcome::Torn;
+    }
+    let Some(payload) = rest.get(RECORD_HEADER..RECORD_HEADER + payload_len) else {
+        return DecodeOutcome::Torn;
+    };
+    if fnv1a(payload) != checksum {
+        return DecodeOutcome::Torn;
+    }
+    let seq = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+    let n_ops = u32::from_le_bytes(payload[8..12].try_into().unwrap()) as usize;
+    let body = &payload[12..];
+    if body.len() != n_ops * (1 + K::WIDTH) {
+        return DecodeOutcome::Torn;
+    }
+    let mut ops = Vec::with_capacity(n_ops);
+    for chunk in body.chunks_exact(1 + K::WIDTH) {
+        let op = match chunk[0] {
+            KIND_INSERT => WalOp::Insert,
+            KIND_REMOVE => WalOp::Remove,
+            _ => return DecodeOutcome::Torn,
+        };
+        ops.push((op, K::decode(&chunk[1..])));
+    }
+    DecodeOutcome::Record {
+        record: WalRecord { seq, ops },
+        consumed: RECORD_HEADER + payload_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(seq: u64, ops: &[(WalOp, u64)]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let borrowed: Vec<(WalOp, &u64)> = ops.iter().map(|(op, k)| (*op, k)).collect();
+        encode_record(seq, &borrowed, &mut buf);
+        buf
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let ops = [
+            (WalOp::Insert, 7u64),
+            (WalOp::Remove, u64::MAX),
+            (WalOp::Insert, 0),
+        ];
+        let buf = roundtrip(42, &ops);
+        match decode_record::<u64>(&buf, 0) {
+            DecodeOutcome::Record { record, consumed } => {
+                assert_eq!(consumed, buf.len());
+                assert_eq!(record.seq, 42);
+                assert_eq!(record.ops, ops.map(|(op, k)| (op, k)));
+            }
+            other => panic!("expected a record, got {other:?}"),
+        }
+        assert_eq!(decode_record::<u64>(&buf, buf.len()), DecodeOutcome::Clean);
+    }
+
+    #[test]
+    fn every_truncation_point_reads_as_torn() {
+        let buf = roundtrip(9, &[(WalOp::Insert, 123), (WalOp::Remove, 456)]);
+        for cut in 1..buf.len() {
+            assert_eq!(
+                decode_record::<u64>(&buf[..cut], 0),
+                DecodeOutcome::Torn,
+                "prefix of {cut} bytes should read as torn"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_reads_as_torn_or_shorter_valid_log() {
+        let buf = roundtrip(5, &[(WalOp::Insert, 0xDEAD_BEEF)]);
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x01;
+            match decode_record::<u64>(&bad, 0) {
+                DecodeOutcome::Torn => {}
+                // A flip in the length field *could* in principle frame a
+                // different window whose checksum happens to match — FNV
+                // makes that astronomically unlikely, so treat it as a
+                // failure if it ever shows up here.
+                other => panic!("flip at byte {i} decoded as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_kind_byte_is_torn() {
+        let mut buf = roundtrip(1, &[(WalOp::Insert, 1)]);
+        // Kind byte sits right after header + seq + n_ops.
+        let kind_at = RECORD_HEADER + 8 + 4;
+        buf[kind_at] = 7;
+        // Recompute the checksum so only the kind is wrong.
+        let payload = &buf[RECORD_HEADER..];
+        let sum = fnv1a(payload);
+        buf[4..12].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(decode_record::<u64>(&buf, 0), DecodeOutcome::Torn);
+    }
+
+    #[test]
+    fn implausible_length_is_torn_not_a_huge_allocation() {
+        let mut buf = vec![0u8; RECORD_HEADER];
+        buf[0..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert_eq!(decode_record::<u64>(&buf, 0), DecodeOutcome::Torn);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

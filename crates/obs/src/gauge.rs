@@ -1,0 +1,88 @@
+//! The last-value gauge.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A last-value metric: one `AtomicU64` holding the most recently stored
+/// value, not a running total.
+///
+/// Counters answer "how many events so far"; a gauge answers "where does
+/// some monotone (or wandering) quantity currently stand" — a durable
+/// log's fsynced high-water sequence number, a queue depth, a segment's
+/// byte position.  [`Gauge::set`] stores with `Release` and [`Gauge::get`]
+/// loads with `Acquire`, so an observer that reads a gauge value also sees
+/// every write the setter made before publishing it — the natural contract
+/// for "everything up to seq *s* is on disk"-style marks.
+///
+/// [`Gauge::set_max`] is the lock-free monotone variant for racing
+/// publishers: the gauge only ever moves forward.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub const fn new() -> Gauge {
+        Gauge {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Publishes a new value (`Release`: pairs with [`Gauge::get`]'s
+    /// `Acquire`, ordering the setter's earlier writes before the read).
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Release);
+    }
+
+    /// Raises the gauge to `value` if that moves it forward; concurrent
+    /// racing setters never move it backward.
+    #[inline]
+    pub fn set_max(&self, value: u64) {
+        self.value.fetch_max(value, Ordering::AcqRel);
+    }
+
+    /// Current value (`Acquire`; see [`Gauge::set`]).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn set_overwrites_and_get_reads_back() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3, "a gauge is last-value, not a sum");
+        assert_eq!(Gauge::default().get(), 0);
+    }
+
+    #[test]
+    fn set_max_is_monotone_under_races() {
+        let g = Arc::new(Gauge::new());
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let g = Arc::clone(&g);
+                thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        g.set_max(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.get(), 3 * 10_000 + 9_999);
+        g.set_max(5);
+        assert_eq!(g.get(), 39_999, "set_max never regresses");
+    }
+}

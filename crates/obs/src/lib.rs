@@ -14,6 +14,10 @@
 //!   [`Counter::inc`]/[`Counter::add`] (one relaxed RMW); a single-writer
 //!   discipline (e.g. the flat-combining combiner) can use
 //!   [`Counter::add_single_writer`] (plain load + store, no RMW).
+//! * [`Gauge`] — a last-value metric (`Release` set / `Acquire` get, plus
+//!   a monotone [`Gauge::set_max`]), for quantities that *stand* somewhere
+//!   rather than accumulate: a durable log's fsynced high-water sequence
+//!   number, a segment's byte position.
 //! * [`Histogram`] — fixed power-of-two buckets, lock-free record, and
 //!   mergeable/subtractable [`HistSnapshot`]s.  Works for nanosecond
 //!   latencies and size distributions alike.
@@ -59,11 +63,13 @@
 #![warn(missing_docs)]
 
 mod counter;
+mod gauge;
 mod hist;
 mod registry;
 mod span;
 
 pub use counter::Counter;
+pub use gauge::Gauge;
 pub use hist::{bucket_bounds, bucket_index, HistSnapshot, Histogram, BUCKETS};
 pub use registry::{MetricValue, Registry, Snapshot};
 pub use span::{trace_round, Span, SpanRecord, TraceRing};

@@ -128,6 +128,16 @@ impl<K: InterpolateKey + Clone + Send + Sync> IstSet<K> {
         self.root.as_ref().map(Node::max_key)
     }
 
+    /// Clones every key out of the tree in ascending order, forking per
+    /// subtree inside a pool — the parallel flatten the rebuild path uses,
+    /// exposed for snapshotting consumers (the durability tier).
+    pub fn collect_keys(&self) -> Vec<K> {
+        match &self.root {
+            Some(root) => update::collect_keys(root),
+            None => Vec::new(),
+        }
+    }
+
     /// Returns `true` when `key` is present, descending by interpolation.
     pub fn contains(&self, key: &K) -> bool {
         let m = self.obs_metrics();
@@ -221,6 +231,10 @@ impl<K: InterpolateKey + Clone + Send + Sync> BatchedSet<K> for IstSet<K> {
         let mut out = Vec::new();
         self.batch_remove_report(batch, &mut out);
         out
+    }
+
+    fn collect_keys(&self) -> Vec<K> {
+        IstSet::collect_keys(self)
     }
 
     // The `_report` variants are the primary implementations: the traversal

@@ -40,6 +40,13 @@
 //! sharded-store contract; callers needing cross-shard atomicity must add
 //! a coordination layer on top.
 //!
+//! # Durability
+//!
+//! [`DurableTier`] is the persistent variant: the same router contract
+//! over one [`durable::DurableSet`] per shard, each persisting its key
+//! range in its own subdirectory (WAL + snapshots), with tier-wide
+//! recovery on open.  See [`durable_tier`](DurableTier)'s docs.
+//!
 //! # Poisoning
 //!
 //! A backend panic mid-round poisons its shard (see
@@ -77,8 +84,10 @@
 
 #![warn(missing_docs)]
 
+mod durable_tier;
 mod router;
 
+pub use durable_tier::DurableTier;
 pub use router::{HashRouter, RangeRouter, ShardRouter, SplitBatch};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -1,0 +1,338 @@
+//! Durability benchmark: `durable::DurableSet` (write-ahead log + group
+//! commit over `combine::ConcurrentSet` over `pbist::IstSet`) against the
+//! in-memory front-end it wraps.
+//!
+//! The interesting knob is `group_commit`: at 1 every mutation fsyncs
+//! before it returns; at `n` up to `n` WAL records ride one fsync.  The
+//! bench reports keys/sec and — the deterministic number the one-core
+//! bench box can stand behind — **fsyncs per operation**, which must fall
+//! monotonically as the group grows while throughput rises toward the
+//! in-memory baseline.  A separate pass measures recovery (open-time
+//! snapshot load + log replay) against log length.
+//!
+//! Deterministic (seeded traces, fixed configuration), std-only timing;
+//! one line per measurement on stdout, full results plus the `durable.*`
+//! metric registry in `BENCH_durable.json`.
+//!
+//! ```sh
+//! cargo run --release --bin bench_durable
+//! # CI smoke: tiny sizes, one repetition
+//! BENCH_DURABLE_QUICK=1 cargo run --release --bin bench_durable
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use pbist_repro::{
+    batchapi::Batch,
+    bench_util::{elapsed_ms, max_of, mean_of, min_of},
+    combine::{ConcurrentSet, Options},
+    durable::{DurableOptions, DurableSet},
+    forkjoin::Pool,
+    pbist::IstSet,
+    workloads::{self, ClientTrace, OpKind},
+};
+
+/// Benchmark sizes; `quick` is the CI smoke configuration.
+struct Config {
+    /// Keys pre-loaded into the set (half the key universe).
+    num_keys: usize,
+    /// Single-key operations issued per timed run.
+    ops: usize,
+    /// Timed repetitions per measurement; best and mean are reported.
+    reps: usize,
+    /// Log lengths (in WAL records) for the recovery-time pass.
+    recovery_records: &'static [u64],
+}
+
+const FULL: Config = Config {
+    num_keys: 50_000,
+    ops: 12_000,
+    reps: 3,
+    recovery_records: &[1_000, 4_000, 16_000],
+};
+
+const QUICK: Config = Config {
+    num_keys: 2_000,
+    ops: 600,
+    reps: 1,
+    recovery_records: &[200, 800],
+};
+
+/// Group-commit sizes measured (`combine_ist` is the no-durability
+/// baseline alongside).
+const GROUPS: [u64; 4] = [1, 8, 64, 256];
+/// Update-heavy operation mix: 2 inserts : 2 removes : 1 contains.
+const MIX: workloads::OpMix = (2, 2, 1);
+
+struct Measurement {
+    structure: &'static str,
+    group_commit: Option<u64>,
+    best_ops_per_sec: f64,
+    mean_ops_per_sec: f64,
+    /// fsyncs issued per operation (deterministic; `None` for the
+    /// in-memory baseline).
+    fsyncs_per_op: Option<f64>,
+    /// WAL records appended per operation (ineffective ops write none).
+    records_per_op: Option<f64>,
+    /// The run's full `durable.*` registry snapshot as JSON.
+    metrics_json: Option<String>,
+}
+
+struct Recovery {
+    records: u64,
+    best_ms: f64,
+    mean_ms: f64,
+    records_per_sec: f64,
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bench-durable-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    let quick = std::env::var_os("BENCH_DURABLE_QUICK").is_some();
+    let cfg = if quick { QUICK } else { FULL };
+    let range = 0..(cfg.num_keys as u64 * 2);
+
+    let prefill = workloads::uniform_keys_distinct(0x5EED, cfg.num_keys, range.clone());
+    // One client: the bench box has one core, so the honest numbers are
+    // per-op costs and fsync counts, not contention scaling.
+    let trace = workloads::client_traces(0xD0_C0FFEE, 1, cfg.ops, range, MIX).remove(0);
+
+    let mut results = Vec::new();
+    for &group in &GROUPS {
+        let mut runs = Vec::with_capacity(cfg.reps);
+        let mut fsyncs_per_op = 0.0;
+        let mut records_per_op = 0.0;
+        let mut metrics_json = String::new();
+        for _ in 0..cfg.reps {
+            let (ops_per_sec, fpo, rpo, json) = run_durable(&prefill, &trace, group);
+            runs.push(ops_per_sec);
+            fsyncs_per_op = fpo;
+            records_per_op = rpo;
+            metrics_json = json;
+        }
+        let m = Measurement {
+            structure: "durable_ist",
+            group_commit: Some(group),
+            best_ops_per_sec: max_of(&runs),
+            mean_ops_per_sec: mean_of(&runs),
+            fsyncs_per_op: Some(fsyncs_per_op),
+            records_per_op: Some(records_per_op),
+            metrics_json: Some(metrics_json),
+        };
+        println!(
+            "{:>12} group={:>3}: best {:9.0} ops/s  mean {:9.0} ops/s  {:.4} fsyncs/op  {:.4} records/op",
+            m.structure, group, m.best_ops_per_sec, m.mean_ops_per_sec, fsyncs_per_op, records_per_op
+        );
+        results.push(m);
+    }
+    {
+        let mut runs = Vec::with_capacity(cfg.reps);
+        for _ in 0..cfg.reps {
+            runs.push(run_baseline(&prefill, &trace));
+        }
+        let m = Measurement {
+            structure: "combine_ist",
+            group_commit: None,
+            best_ops_per_sec: max_of(&runs),
+            mean_ops_per_sec: mean_of(&runs),
+            fsyncs_per_op: None,
+            records_per_op: None,
+            metrics_json: None,
+        };
+        println!(
+            "{:>12} in-memory: best {:9.0} ops/s  mean {:9.0} ops/s",
+            m.structure, m.best_ops_per_sec, m.mean_ops_per_sec
+        );
+        results.push(m);
+    }
+
+    // The monotone claim is about syscall counts, not wall clock: same
+    // trace, same records, so fsyncs/op must strictly fall as the group
+    // grows.  (Throughput should rise too, but on a shared one-core box
+    // that trend is reported, not asserted.)
+    let fpo: Vec<f64> = results.iter().filter_map(|m| m.fsyncs_per_op).collect();
+    assert!(
+        fpo.windows(2).all(|w| w[0] > w[1]),
+        "fsyncs/op must decrease monotonically with group size: {fpo:?}"
+    );
+
+    let recovery: Vec<Recovery> = cfg
+        .recovery_records
+        .iter()
+        .map(|&n| run_recovery(n, cfg.reps))
+        .collect();
+    for r in &recovery {
+        println!(
+            "    recovery {:>6} records: best {:8.2} ms  mean {:8.2} ms  ({:9.0} records/s)",
+            r.records, r.best_ms, r.mean_ms, r.records_per_sec
+        );
+    }
+
+    let json = render_json(&cfg, quick, &results, &recovery);
+    std::fs::write("BENCH_durable.json", &json).expect("write BENCH_durable.json");
+    println!("wrote BENCH_durable.json ({} measurements)", results.len());
+}
+
+/// One timed durable run.  Returns (ops/sec, fsyncs/op, records/op, and
+/// the `durable.*` registry snapshot JSON).
+fn run_durable(prefill: &[u64], trace: &ClientTrace, group: u64) -> (f64, f64, f64, String) {
+    let dir = scratch_dir(&format!("g{group}"));
+    let set: DurableSet<u64, IstSet<u64>> = DurableSet::open(
+        &dir,
+        Pool::new(1).expect("pool"),
+        DurableOptions {
+            group_commit: group,
+            ..DurableOptions::default()
+        },
+        |batch| IstSet::from_batch(&batch),
+    )
+    .expect("open durable set");
+    set.batch_insert(&Batch::from_unsorted(prefill.to_vec()))
+        .expect("prefill");
+    set.sync().expect("prefill sync");
+    let before = set.metrics();
+    let fsyncs0 = before.counter("durable.fsyncs").unwrap_or(0);
+    let records0 = before.counter("durable.records_appended").unwrap_or(0);
+
+    let start = Instant::now();
+    for &(kind, key) in trace {
+        match kind {
+            OpKind::Insert => set.insert(key).expect("insert"),
+            OpKind::Remove => set.remove(&key).expect("remove"),
+            OpKind::Contains => set.contains(&key).expect("contains"),
+        };
+    }
+    // Flush the tail of the last group so every group size pays for full
+    // durability of the whole trace.
+    set.sync().expect("final sync");
+    let secs = start.elapsed().as_secs_f64();
+
+    let after = set.metrics();
+    let fsyncs = after.counter("durable.fsyncs").unwrap_or(0) - fsyncs0;
+    let records = after.counter("durable.records_appended").unwrap_or(0) - records0;
+    let json = after.to_json();
+    drop(set);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+    let ops = trace.len() as f64;
+    (ops / secs, fsyncs as f64 / ops, records as f64 / ops, json)
+}
+
+/// One timed run of the in-memory front-end the durable tier wraps.
+fn run_baseline(prefill: &[u64], trace: &ClientTrace) -> f64 {
+    let set = ConcurrentSet::with_options(
+        IstSet::from_unsorted(prefill.to_vec()),
+        Pool::new(1).expect("pool"),
+        Options::default(),
+    );
+    let start = Instant::now();
+    for &(kind, key) in trace {
+        match kind {
+            OpKind::Insert => set.insert(key),
+            OpKind::Remove => set.remove(&key),
+            OpKind::Contains => set.contains(&key),
+        };
+    }
+    trace.len() as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Builds a log of exactly `n` single-op records, then times recovery
+/// (snapshot load + replay + backend rebuild) over `reps` opens.
+fn run_recovery(n: u64, reps: usize) -> Recovery {
+    let dir = scratch_dir(&format!("recovery-{n}"));
+    {
+        let set: DurableSet<u64, IstSet<u64>> = DurableSet::open(
+            &dir,
+            Pool::new(1).expect("pool"),
+            DurableOptions {
+                group_commit: 256,
+                ..DurableOptions::default()
+            },
+            |batch| IstSet::from_batch(&batch),
+        )
+        .expect("open for build");
+        for i in 0..n {
+            set.insert(i).expect("build insert");
+        }
+        set.close().expect("close build");
+    }
+
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let pool = Pool::new(1).expect("pool");
+        let start = Instant::now();
+        let set: DurableSet<u64, IstSet<u64>> =
+            DurableSet::open(&dir, pool, DurableOptions::default(), |batch| {
+                IstSet::from_batch(&batch)
+            })
+            .expect("recover");
+        let ms = elapsed_ms(start);
+        assert_eq!(set.len() as u64, n, "recovery lost records");
+        times.push(ms);
+        drop(set);
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+    let best_ms = min_of(&times);
+    Recovery {
+        records: n,
+        best_ms,
+        mean_ms: mean_of(&times),
+        records_per_sec: n as f64 / (best_ms / 1e3),
+    }
+}
+
+fn render_json(
+    cfg: &Config,
+    quick: bool,
+    results: &[Measurement],
+    recovery: &[Recovery],
+) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"durable\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"quick\": {quick}, \"num_keys\": {}, \"ops\": {}, \"reps\": {}, \"mix\": [2, 2, 1], \"groups\": [1, 8, 64, 256]}},\n",
+        cfg.num_keys, cfg.ops, cfg.reps
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let group = m
+            .group_commit
+            .map(|g| g.to_string())
+            .unwrap_or_else(|| "null".into());
+        let fpo = m
+            .fsyncs_per_op
+            .map(|v| format!("{v:.4}"))
+            .unwrap_or_else(|| "null".into());
+        let rpo = m
+            .records_per_op
+            .map(|v| format!("{v:.4}"))
+            .unwrap_or_else(|| "null".into());
+        let metrics = m.metrics_json.clone().unwrap_or_else(|| "null".into());
+        json.push_str(&format!(
+            "    {{\"structure\": \"{}\", \"group_commit\": {group}, \"best_ops_per_sec\": {:.0}, \"mean_ops_per_sec\": {:.0}, \"fsyncs_per_op\": {fpo}, \"records_per_op\": {rpo}, \"metrics\": {metrics}}}{}\n",
+            m.structure,
+            m.best_ops_per_sec,
+            m.mean_ops_per_sec,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"recovery\": [\n");
+    for (i, r) in recovery.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"records\": {}, \"best_ms\": {:.3}, \"mean_ms\": {:.3}, \"records_per_sec\": {:.0}}}{}\n",
+            r.records,
+            r.best_ms,
+            r.mean_ms,
+            r.records_per_sec,
+            if i + 1 < recovery.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}

@@ -6,6 +6,7 @@
 pub use baselines;
 pub use batchapi;
 pub use combine;
+pub use durable;
 pub use forkjoin;
 pub use obs;
 pub use parprim;

@@ -81,6 +81,12 @@ fn drive_and_verify(
         "{ctx}: logged op count"
     );
 
+    // Check 0: sequence numbers are strictly increasing and gap-free in
+    // commit order — the numbering a durable log keys its records by.
+    for (r, round) in rounds.iter().enumerate() {
+        assert_eq!(round.seq, r as u64 + 1, "{ctx}: round seq at index {r}");
+    }
+
     // Check 1: the committed round order is a valid linearisation.
     let mut oracle: BTreeSet<u64> = initial.iter().copied().collect();
     for (r, round) in rounds.iter().enumerate() {

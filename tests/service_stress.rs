@@ -441,6 +441,9 @@ impl BatchedSet<u64> for BombSet {
     fn batch_remove(&mut self, batch: &Batch<u64>) -> Vec<bool> {
         self.inner.batch_remove(batch)
     }
+    fn collect_keys(&self) -> Vec<u64> {
+        self.inner.collect_keys()
+    }
 }
 
 /// Builds a 4-shard bomb-backed tier over `[0, 8_000]`; `u64::MAX` clamps
