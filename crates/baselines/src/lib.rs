@@ -12,8 +12,9 @@
 #![warn(missing_docs)]
 
 use std::fmt::Debug;
+use std::sync::Arc;
 
-use batchapi::{Batch, BatchedSet};
+use batchapi::{Batch, BatchedSet, SetView, SortedVecView};
 
 /// Batches at or below this length take the sequential in-place path in the
 /// `_report` variants; longer ones reuse the allocating parallel fan-out.
@@ -28,7 +29,10 @@ const SEQ_REPORT_LEN: usize = 1024;
 /// beat.
 #[derive(Debug, Clone, Default)]
 pub struct SortedArraySet<K: Ord> {
-    keys: Vec<K>,
+    // `Arc` so `publish_root` is O(1): a published snapshot shares the whole
+    // array, and updates that follow copy it out first (`Arc::make_mut`) or
+    // swap in a freshly-built array.
+    keys: Arc<Vec<K>>,
 }
 
 impl<K: Ord> SortedArraySet<K> {
@@ -37,7 +41,9 @@ impl<K: Ord> SortedArraySet<K> {
     pub fn from_unsorted(mut keys: Vec<K>) -> SortedArraySet<K> {
         keys.sort_unstable();
         keys.dedup();
-        SortedArraySet { keys }
+        SortedArraySet {
+            keys: Arc::new(keys),
+        }
     }
 
     /// Builds a set from keys that are already sorted and deduplicated
@@ -47,7 +53,9 @@ impl<K: Ord> SortedArraySet<K> {
             keys.windows(2).all(|w| w[0] < w[1]),
             "keys must be strictly increasing"
         );
-        SortedArraySet { keys }
+        SortedArraySet {
+            keys: Arc::new(keys),
+        }
     }
 
     /// Number of keys in the set.
@@ -118,7 +126,7 @@ impl<K: Ord + Clone + Send + Sync> BatchedSet<K> for SortedArraySet<K> {
             .filter(|(_, &new)| new)
             .map(|(q, _)| q.clone())
             .collect();
-        self.keys = parprim::merge(&self.keys, &fresh);
+        self.keys = Arc::new(parprim::merge(&self.keys, &fresh));
         inserted
     }
 
@@ -127,12 +135,22 @@ impl<K: Ord + Clone + Send + Sync> BatchedSet<K> for SortedArraySet<K> {
             return Vec::new();
         }
         let removed = parprim::map(batch.as_slice(), |q| self.contains(q));
-        self.keys = parprim::filter(&self.keys, |k| batch.binary_search(k).is_err());
+        self.keys = Arc::new(parprim::filter(&self.keys, |k| {
+            batch.binary_search(k).is_err()
+        }));
         removed
     }
 
     fn collect_keys(&self) -> Vec<K> {
-        self.keys.clone()
+        self.keys.as_ref().clone()
+    }
+
+    fn publish_root(&self) -> Arc<dyn SetView<K>>
+    where
+        K: 'static,
+    {
+        // O(1): the view shares the array; later updates unshare it.
+        Arc::new(SortedVecView::from_arc(Arc::clone(&self.keys)))
     }
 
     // Report variants: small batches (where per-batch allocation overhead
@@ -159,7 +177,7 @@ impl<K: Ord + Clone + Send + Sync> BatchedSet<K> for SortedArraySet<K> {
                 .filter(|(_, &new)| new)
                 .map(|(q, _)| q.clone())
                 .collect();
-            self.keys = parprim::merge(&self.keys, &fresh);
+            self.keys = Arc::new(parprim::merge(&self.keys, &fresh));
         } else {
             *out = self.batch_insert(batch);
         }
@@ -169,7 +187,7 @@ impl<K: Ord + Clone + Send + Sync> BatchedSet<K> for SortedArraySet<K> {
         if batch.len() <= SEQ_REPORT_LEN {
             out.clear();
             out.extend(batch.iter().map(|q| self.contains(q)));
-            self.keys.retain(|k| batch.binary_search(k).is_err());
+            Arc::make_mut(&mut self.keys).retain(|k| batch.binary_search(k).is_err());
         } else {
             *out = self.batch_remove(batch);
         }
@@ -183,7 +201,7 @@ impl<K: Ord + Clone + Send + Sync> BatchedSet<K> for SortedArraySet<K> {
         match self.keys.binary_search(key) {
             Ok(_) => false,
             Err(pos) => {
-                self.keys.insert(pos, key.clone());
+                Arc::make_mut(&mut self.keys).insert(pos, key.clone());
                 true
             }
         }
@@ -192,7 +210,7 @@ impl<K: Ord + Clone + Send + Sync> BatchedSet<K> for SortedArraySet<K> {
     fn remove_one(&mut self, key: &K) -> bool {
         match self.keys.binary_search(key) {
             Ok(pos) => {
-                self.keys.remove(pos);
+                Arc::make_mut(&mut self.keys).remove(pos);
                 true
             }
             Err(_) => false,
@@ -294,6 +312,29 @@ mod tests {
         assert!(set.remove_one(&4));
         assert!(!set.remove_one(&4));
         assert_eq!(set.as_slice(), &[2, 3, 6]);
+    }
+
+    #[test]
+    fn publish_root_shares_the_array_and_stays_frozen() {
+        let mut set = SortedArraySet::from_sorted((0..1_000u64).map(|i| i * 2).collect());
+        let view = set.publish_root();
+        // O(1) publication: no copy, just a second strong reference.
+        assert_eq!(Arc::strong_count(&set.keys), 2);
+        assert!(view.contains(&4) && !view.contains(&5));
+        assert_eq!(view.len(), 1_000);
+
+        // Every mutation flavour unshares the snapshot rather than editing it.
+        assert!(set.insert_one(&5));
+        assert!(set.remove_one(&0));
+        set.batch_insert(&Batch::from_unsorted(vec![7u64, 9]));
+        set.batch_remove(&Batch::from_unsorted(vec![2u64]));
+        let mut out = Vec::new();
+        set.batch_insert_report(&Batch::from_unsorted(vec![11u64]), &mut out);
+        set.batch_remove_report(&Batch::from_unsorted(vec![4u64]), &mut out);
+        assert!(!view.contains(&5), "snapshot saw a later insert");
+        assert!(view.contains(&0), "snapshot saw a later remove");
+        assert_eq!(view.len(), 1_000);
+        assert!(set.contains(&11) && !set.contains(&4));
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //! * [`KeyCodec`] — a fixed-width, order-preserving byte encoding for keys,
 //!   the serialisation contract the durability tier writes its log records
 //!   and snapshots in.
+//! * [`SetView`] — an immutable, shareable (`Send + Sync`) read-only view
+//!   of a set's contents at one linearisation point, published cheaply via
+//!   [`BatchedSet::publish_root`].  A concurrent front-end swaps views
+//!   atomically so lookups can run wait-free against the last published
+//!   root instead of serialising behind a combiner.
 //!
 //! The crate is deliberately dependency-free (std only): it defines the
 //! contract, while `pbist`, `baselines`, … provide the parallel
@@ -25,6 +30,7 @@
 
 use std::fmt;
 use std::ops::Deref;
+use std::sync::Arc;
 
 /// A sorted, strictly-increasing (hence deduplicated) batch of keys.
 ///
@@ -410,6 +416,133 @@ pub trait BatchedSet<K: Ord> {
     fn collect_keys(&self) -> Vec<K>
     where
         K: Clone;
+
+    /// Publishes an immutable [`SetView`] of the current contents, for a
+    /// concurrent front-end to serve wait-free reads from.
+    ///
+    /// The view must answer every read-only query exactly as the set would
+    /// at the moment of the call, and must stay valid (and unchanged) while
+    /// later mutations run — i.e. mutations must be copy-on-write with
+    /// respect to any outstanding view.  Backends whose update paths
+    /// already produce fresh nodes (`pbist` path-copies on update and
+    /// rebuilds drifted subtrees wholesale) publish in `O(1)` by handing
+    /// out their current root; the default clones the full contents into a
+    /// [`SortedVecView`], which is correct for any backend but `O(n)` per
+    /// publication.
+    fn publish_root(&self) -> Arc<dyn SetView<K>>
+    where
+        K: Clone + Send + Sync + 'static,
+    {
+        Arc::new(SortedVecView::new(self.collect_keys()))
+    }
+}
+
+/// An immutable, shareable read-only view of a set at one linearisation
+/// point.
+///
+/// Produced by [`BatchedSet::publish_root`] and consumed by the
+/// flat-combining front-end's wait-free read path: the combiner publishes a
+/// fresh view at the end of every mutating round, readers clone the `Arc`
+/// and query it with no further coordination.  Implementations must be
+/// cheap to query from many threads at once (`Send + Sync`, interior
+/// immutability).
+pub trait SetView<K>: Send + Sync {
+    /// Number of keys in the viewed set.
+    fn len(&self) -> usize;
+
+    /// Returns `true` when the viewed set holds no keys.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` when `key` is present.
+    fn contains(&self, key: &K) -> bool;
+
+    /// Number of keys strictly smaller than `key`.
+    fn rank(&self, key: &K) -> usize;
+
+    /// The smallest key, or `None` for an empty view.
+    fn min(&self) -> Option<&K>;
+
+    /// The largest key, or `None` for an empty view.
+    fn max(&self) -> Option<&K>;
+
+    /// Answers one membership query per batch element into `out` (cleared
+    /// first, then filled to exactly `batch.len()` entries) — the buffer
+    /// reuse mirrors [`BatchedSet::batch_contains_report`].
+    fn batch_contains_report(&self, batch: &Batch<K>, out: &mut Vec<bool>);
+
+    /// Allocating variant of [`SetView::batch_contains_report`].
+    fn batch_contains(&self, batch: &Batch<K>) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.batch_contains_report(batch, &mut out);
+        out
+    }
+
+    /// Clones every key out of the view in ascending order (the same
+    /// contract as [`BatchedSet::collect_keys`], frozen at the view's
+    /// linearisation point).
+    fn collect_keys(&self) -> Vec<K>;
+}
+
+/// The fallback [`SetView`]: a shared sorted array, queried by binary
+/// search.
+///
+/// [`BatchedSet::publish_root`]'s default implementation collects the set's
+/// keys into one of these.  Backends that already keep their keys in a
+/// sorted array (`baselines::SortedArraySet`) can share the allocation via
+/// [`SortedVecView::from_arc`] and publish in `O(1)`.
+pub struct SortedVecView<K> {
+    keys: Arc<Vec<K>>,
+}
+
+impl<K: Ord> SortedVecView<K> {
+    /// Wraps a sorted, deduplicated key vector (checked with a
+    /// `debug_assert!`).
+    pub fn new(keys: Vec<K>) -> SortedVecView<K> {
+        SortedVecView::from_arc(Arc::new(keys))
+    }
+
+    /// Shares an already-`Arc`'d sorted, deduplicated key vector without
+    /// copying it.
+    pub fn from_arc(keys: Arc<Vec<K>>) -> SortedVecView<K> {
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys must be strictly increasing"
+        );
+        SortedVecView { keys }
+    }
+}
+
+impl<K: Ord + Clone + Send + Sync> SetView<K> for SortedVecView<K> {
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.keys.binary_search(key).is_ok()
+    }
+
+    fn rank(&self, key: &K) -> usize {
+        self.keys.partition_point(|k| k < key)
+    }
+
+    fn min(&self) -> Option<&K> {
+        self.keys.first()
+    }
+
+    fn max(&self) -> Option<&K> {
+        self.keys.last()
+    }
+
+    fn batch_contains_report(&self, batch: &Batch<K>, out: &mut Vec<bool>) {
+        out.clear();
+        out.extend(batch.iter().map(|q| self.contains(q)));
+    }
+
+    fn collect_keys(&self) -> Vec<K> {
+        self.keys.as_ref().clone()
+    }
 }
 
 #[cfg(test)]
@@ -577,6 +710,44 @@ mod tests {
         let keys = set.collect_keys();
         assert_eq!(keys, vec![2, 4, 6]);
         assert!(Batch::from_sorted(keys).is_ok(), "collects a valid batch");
+    }
+
+    #[test]
+    fn default_publish_root_freezes_the_contents() {
+        let mut set = ToySet(vec![2, 4, 6]);
+        let view = set.publish_root();
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+        assert!(view.contains(&4) && !view.contains(&5));
+        assert_eq!(view.rank(&5), 2);
+        assert_eq!(view.min(), Some(&2));
+        assert_eq!(view.max(), Some(&6));
+        assert_eq!(
+            view.batch_contains(&Batch::from_unsorted(vec![1, 2, 6])),
+            vec![false, true, true]
+        );
+        // Mutations after a publication must not reach the frozen view.
+        set.insert_one(&5);
+        assert!(!view.contains(&5), "published views are immutable");
+        assert_eq!(view.collect_keys(), vec![2, 4, 6]);
+        let fresh = set.publish_root();
+        assert!(fresh.contains(&5));
+        let mut out = vec![true; 8]; // stale contents must be cleared
+        fresh.batch_contains_report(&Batch::empty(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sorted_vec_view_shares_an_arc_without_copying() {
+        let keys = Arc::new(vec![1u64, 3, 5]);
+        let view = SortedVecView::from_arc(Arc::clone(&keys));
+        assert_eq!(Arc::strong_count(&keys), 2, "from_arc must not copy");
+        assert!(view.contains(&3));
+        assert_eq!(view.rank(&4), 2);
+        let empty: SortedVecView<u64> = SortedVecView::new(Vec::new());
+        assert!(SetView::is_empty(&empty));
+        assert_eq!(SetView::min(&empty), None);
+        assert_eq!(SetView::max(&empty), None);
     }
 
     #[test]

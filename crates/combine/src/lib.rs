@@ -95,15 +95,50 @@
 //!   high-water mark it reflects.  Recovery loads the snapshot and applies
 //!   only records with `seq >` the mark — records at or below it (or
 //!   replayed twice across restarts) change nothing.
-//! * **Read-your-writes for stale readers.**  A future wait-free read path
-//!   (ROADMAP item 5) serves lookups from an atomically published snapshot
-//!   of the tree instead of entering a combiner round.  The contract such
-//!   reads need is exactly this numbering: a client that completed a write
-//!   in round *s* may read from any published snapshot whose mark is
-//!   `>= s` — its own write is visible — while snapshots with older marks
-//!   must be refused (or routed through the combiner).  Stamping rounds
-//!   here is deliberate pre-work for that item: the snapshot publisher
-//!   just pairs each published root with the seq it reflects.
+//! * **Read-your-writes for snapshot readers.**  The wait-free read path
+//!   below serves lookups from an atomically published snapshot of the
+//!   tree instead of entering a combiner round.  The contract such reads
+//!   need is exactly this numbering: a client that completed a write in
+//!   round *s* reads from a published snapshot whose mark is `>= s` — its
+//!   own write is visible — because the combiner publishes the new root
+//!   *before* it acknowledges any operation of the round that produced it.
+//!
+//! # Wait-free snapshot reads
+//!
+//! When [`Options::snapshot_reads`] is on (the default), the read-only
+//! operations — [`ConcurrentSet::contains`], [`ConcurrentSet::batch_contains`],
+//! [`ConcurrentSet::len`], [`ConcurrentSet::rank`], [`ConcurrentSet::min`] /
+//! [`ConcurrentSet::max`] and [`ConcurrentSet::snapshot_keys`] — never elect
+//! a combiner and never wait for one.  They load the last published
+//! [`ReadSnapshot`]: an immutable root ([`batchapi::SetView`], shared
+//! structurally with the live tree via copy-on-write) paired with the seq of
+//! the round it reflects.
+//!
+//! **Publication protocol.**  At the end of every round that mutated the
+//! backend, the combiner — still holding the combiner flag — asks the
+//! backend for a fresh root (`publish_root`, O(1) for both `pbist::IstSet`
+//! and `baselines::SortedArraySet`) and installs it in a two-slot
+//! *left-right* cell: the new snapshot is written into the inactive slot
+//! (after waiting out the readers still borrowing it), then the active-slot
+//! index is flipped with a `SeqCst` store.  Readers increment the chosen
+//! slot's borrow count, re-check the index, and clone the `Arc` out — a
+//! handful of atomic ops, no allocation, no lock, regardless of combiner
+//! activity.  Rounds that mutated nothing advance only the `committed`
+//! high-water mark, so a snapshot's mark can trail
+//! [`ConcurrentSet::committed_seq`] while its *contents* stay exact.
+//!
+//! **Staleness contract.**  A snapshot read observes some round
+//! `seq >= ` the client's last acknowledged write (publish happens before
+//! acknowledgement, see above) but possibly older than rounds still in
+//! flight — reads are *read-your-writes*, not linearisable against other
+//! clients' unacknowledged writes.  [`ConcurrentSet::read_at_least`] is the
+//! escape hatch: it spins (joining combining rounds when it can) until the
+//! published state covers a caller-supplied seq.
+//!
+//! **Poisoning.**  Snapshot reads still fail fast on a poisoned front-end:
+//! they panic like every other operation rather than serve reads from a
+//! history whose tail is indeterminate.  They never *block* on the flag —
+//! poisoned or not, a snapshot read completes or panics in bounded steps.
 //!
 //! # Contract
 //!
@@ -143,10 +178,10 @@
 use std::cell::UnsafeCell;
 use std::mem;
 use std::ptr;
-use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use batchapi::{Batch, BatchedSet};
+use batchapi::{Batch, BatchedSet, SetView};
 use forkjoin::Pool;
 use obs::{Counter, Histogram, Registry, SpanRecord, TraceRing};
 
@@ -243,6 +278,14 @@ pub struct Options {
     /// new rounds continue the old numbering and replay stays idempotent
     /// across restarts.
     pub first_seq: u64,
+    /// Serve read-only operations (`contains`, `batch_contains`, `len`,
+    /// `rank`, `min`/`max`, `snapshot_keys`) wait-free from the last
+    /// published [`ReadSnapshot`] instead of electing a combiner (see the
+    /// module docs' *wait-free snapshot reads* section).  On by default.
+    /// Turning it off routes every read through a combining round of its
+    /// own — each read then linearises against concurrent writes and lands
+    /// in the round log, which the linearisability replay suites rely on.
+    pub snapshot_reads: bool,
 }
 
 impl Default for Options {
@@ -252,6 +295,7 @@ impl Default for Options {
             log_rounds: false,
             trace_capacity: 0,
             first_seq: 0,
+            snapshot_reads: true,
         }
     }
 }
@@ -296,6 +340,15 @@ struct CombineMetrics {
     batch_rounds: Arc<Counter>,
     /// `combine.round_size` — ops per committed round.
     round_size: Arc<Histogram>,
+    /// `combine.snapshot_reads` — read operations served wait-free from the
+    /// published snapshot (each batched read counts once).
+    snapshot_reads: Arc<Counter>,
+    /// `combine.snapshot_lag` — `committed_seq - snapshot seq` observed by
+    /// snapshot-handle and batched snapshot reads: how many committed
+    /// (necessarily read-only) rounds the served snapshot's mark trailed
+    /// by.  Point reads skip the sample to stay cheaper than the combiner
+    /// fast path.
+    snapshot_lag: Arc<Histogram>,
 }
 
 impl CombineMetrics {
@@ -309,7 +362,145 @@ impl CombineMetrics {
             poisoned: registry.counter("combine.poisoned"),
             batch_rounds: registry.counter("combine.batch_rounds"),
             round_size: registry.histogram("combine.round_size"),
+            snapshot_reads: registry.counter("combine.snapshot_reads"),
+            snapshot_lag: registry.histogram("combine.snapshot_lag"),
         }
+    }
+}
+
+/// An immutable view of the set's contents paired with the seq of the
+/// round it reflects — what the wait-free read path serves (see the module
+/// docs' *wait-free snapshot reads* section).
+///
+/// The view shares structure with the live set (copy-on-write), so holding
+/// one is cheap; its contents never change, no matter how many rounds
+/// commit after it was published.
+pub struct ReadSnapshot<K> {
+    seq: u64,
+    view: Arc<dyn SetView<K>>,
+}
+
+impl<K> ReadSnapshot<K> {
+    /// Sequence number of the last *mutating* round this snapshot reflects.
+    /// May trail [`ConcurrentSet::committed_seq`] by read-only rounds —
+    /// the contents are still exact for every seq in between.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The frozen contents.
+    pub fn view(&self) -> &dyn SetView<K> {
+        self.view.as_ref()
+    }
+}
+
+/// One slot of the left-right snapshot cell: the snapshot plus the number
+/// of readers currently borrowing it.
+struct SnapSlot<K> {
+    readers: AtomicUsize,
+    snap: UnsafeCell<Arc<ReadSnapshot<K>>>,
+}
+
+/// A two-slot *left-right* cell holding the last published snapshot.
+///
+/// Readers ([`SnapCell::load`]) are lock-free and run concurrently with
+/// each other and with the single writer; the writer ([`SnapCell::publish`],
+/// always the combiner, serialised by the combiner flag) updates the
+/// *inactive* slot after waiting out its borrowers, then flips the active
+/// index.  `SeqCst` on the index and the borrow registration keeps the
+/// classic left-right argument airtight (see the proof sketch on `load`);
+/// the borrow release needs only `Release` (the writer's spin load pairs
+/// with it).
+struct SnapCell<K> {
+    /// Index (0 or 1) of the slot readers should borrow.
+    active: AtomicUsize,
+    slots: [SnapSlot<K>; 2],
+}
+
+// SAFETY: the `UnsafeCell`s are governed by the left-right protocol — the
+// single writer mutates a slot only while its reader count is zero and the
+// slot is inactive, and readers only read while registered on a slot they
+// re-verified as active — so shared references handed out never alias a
+// mutation.  The payload is an `Arc<ReadSnapshot<K>>`, shared across
+// threads, hence `K: Send + Sync`.
+unsafe impl<K: Send + Sync> Sync for SnapCell<K> {}
+unsafe impl<K: Send + Sync> Send for SnapCell<K> {}
+
+impl<K> SnapCell<K> {
+    fn new(initial: Arc<ReadSnapshot<K>>) -> SnapCell<K> {
+        SnapCell {
+            active: AtomicUsize::new(0),
+            slots: [
+                SnapSlot {
+                    readers: AtomicUsize::new(0),
+                    snap: UnsafeCell::new(Arc::clone(&initial)),
+                },
+                SnapSlot {
+                    readers: AtomicUsize::new(0),
+                    snap: UnsafeCell::new(initial),
+                },
+            ],
+        }
+    }
+
+    /// Returns the last published snapshot.  Lock-free: a reader retries
+    /// only when the writer flipped the active index between its first load
+    /// and its re-check, which one `publish` does at most once.
+    ///
+    /// Why the re-check suffices (all index/registration ops are `SeqCst`,
+    /// so they form one total order): a writer mutates slot `a` only after
+    /// its zero-check of `readers[a]`.  If our registration precedes that
+    /// check in the total order, the writer sees the count and spins until
+    /// our release.  If it follows, the flip that made `a` inactive (the
+    /// writer targets `1 - active`) also precedes our re-check, which
+    /// therefore reads the flipped index, fails, and retries — we never
+    /// dereference a slot the writer may be mutating.
+    fn load(&self) -> Arc<ReadSnapshot<K>> {
+        self.with_snap(Arc::clone)
+    }
+
+    /// Runs `read` against the last published snapshot *inside* the borrow
+    /// window — no `Arc` clone, so a point read's whole synchronisation
+    /// cost is the two borrow-count bumps.  The flip side: the window now
+    /// spans the read itself, so a publishing combiner may wait out one
+    /// in-flight read (still bounded — new readers land on the flipped
+    /// slot).  Long reads (batch scans) should [`SnapCell::load`] and pay
+    /// the clone instead.
+    fn with_snap<T>(&self, read: impl FnOnce(&Arc<ReadSnapshot<K>>) -> T) -> T {
+        loop {
+            let idx = self.active.load(Ordering::SeqCst);
+            let slot = &self.slots[idx];
+            slot.readers.fetch_add(1, Ordering::SeqCst);
+            if self.active.load(Ordering::SeqCst) == idx {
+                // SAFETY: registered on a slot re-verified active — the
+                // left-right protocol (see `Sync` impl) keeps the writer
+                // out until the release below.
+                let result = read(unsafe { &*slot.snap.get() });
+                slot.readers.fetch_sub(1, Ordering::Release);
+                return result;
+            }
+            slot.readers.fetch_sub(1, Ordering::Release);
+        }
+    }
+
+    /// Installs a new snapshot.  Caller must hold the combiner flag (single
+    /// writer); waits out readers still borrowing the inactive slot, which
+    /// hold it for at most one read — an `Arc` clone ([`SnapCell::load`])
+    /// or a point query ([`SnapCell::with_snap`]).
+    fn publish(&self, snap: Arc<ReadSnapshot<K>>) {
+        let idx = 1 - self.active.load(Ordering::Relaxed);
+        let slot = &self.slots[idx];
+        while slot.readers.load(Ordering::SeqCst) != 0 {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        // SAFETY: slot `idx` is inactive (readers registering now target the
+        // other slot, or will fail their re-check) and drained of readers;
+        // the combiner flag excludes other writers.
+        unsafe { *slot.snap.get() = snap };
+        // The flip publishes the write above to readers: their `SeqCst`
+        // re-check of `active` pairs with this store.
+        self.active.store(idx, Ordering::SeqCst);
     }
 }
 
@@ -377,6 +568,17 @@ pub struct ConcurrentSet<K, S> {
     seq: UnsafeCell<u64>,
     /// Reused round buffers.  Touched only while holding `combiner`.
     scratch: UnsafeCell<Scratch<K>>,
+    /// The last published read snapshot (root + seq), republished by the
+    /// combiner at the end of every mutating round.  Read lock-free by the
+    /// snapshot read path; written only while holding `combiner`.
+    snap: SnapCell<K>,
+    /// Seq of the last committed round of *any* kind (read-only rounds
+    /// included), stored by the combiner after the round's snapshot (if
+    /// any) is published.  Lets [`ConcurrentSet::read_at_least`] tell a
+    /// stale snapshot *mark* from stale snapshot *contents*.
+    committed: AtomicU64,
+    /// See [`Options::snapshot_reads`].
+    snapshot_reads: bool,
     /// Fork-join pool executing rounds of at least `pool_cutoff` ops.
     pool: Pool,
     /// See [`Options::pool_cutoff`].
@@ -452,7 +654,7 @@ unsafe impl<K: Send, S: Send> Send for ConcurrentSet<K, S> {}
 
 impl<K, S> ConcurrentSet<K, S>
 where
-    K: Ord + Clone + Send + Sync,
+    K: Ord + Clone + Send + Sync + 'static,
     S: BatchedSet<K> + Send,
 {
     /// Wraps `set` behind a flat-combining front-end with default
@@ -465,11 +667,20 @@ where
     pub fn with_options(set: S, pool: Pool, options: Options) -> ConcurrentSet<K, S> {
         let registry = Registry::new();
         let metrics = CombineMetrics::new(&registry);
+        // Publish the initial contents so the read path has a snapshot
+        // before any round commits; its mark is the pre-history seq.
+        let snap = SnapCell::new(Arc::new(ReadSnapshot {
+            seq: options.first_seq,
+            view: set.publish_root(),
+        }));
         ConcurrentSet {
             ingress: AtomicPtr::new(ptr::null_mut()),
             combiner: AtomicBool::new(false),
             set: UnsafeCell::new(set),
             seq: UnsafeCell::new(options.first_seq),
+            snap,
+            committed: AtomicU64::new(options.first_seq),
+            snapshot_reads: options.snapshot_reads,
             scratch: UnsafeCell::new(Scratch {
                 contains: Lane::new(),
                 insert: Lane::new(),
@@ -513,11 +724,47 @@ where
     }
 
     /// Returns `true` iff `key` is in the set.
+    ///
+    /// With [`Options::snapshot_reads`] on (the default) this is a
+    /// wait-free snapshot read — see the module docs' staleness contract;
+    /// otherwise it linearises through the combiner like a write.
     pub fn contains(&self, key: &K) -> bool {
+        if self.snapshot_reads {
+            return self.snap_read(|view| view.contains(key));
+        }
         match self.try_fast_op(OpKind::Contains, key) {
             Some(result) => result,
             None => self.run_op_published(OpKind::Contains, key.clone()),
         }
+    }
+
+    /// Number of keys strictly smaller than `key` — a snapshot read (or a
+    /// combining round of its own when [`Options::snapshot_reads`] is off).
+    pub fn rank(&self, key: &K) -> usize {
+        if self.snapshot_reads {
+            return self.snap_read(|view| view.rank(key));
+        }
+        self.read_via_round(|set| set.rank(key))
+    }
+
+    /// The smallest key, or `None` for an empty set — a snapshot read (or
+    /// a combining round of its own when [`Options::snapshot_reads`] is
+    /// off).  Cloned out: the set's contents move on under concurrent
+    /// writes, only a snapshot's view can hand out references.
+    pub fn min(&self) -> Option<K> {
+        if self.snapshot_reads {
+            return self.snap_read(|view| view.min().cloned());
+        }
+        self.read_via_round(|set| set.min().cloned())
+    }
+
+    /// The largest key, or `None` for an empty set.  See
+    /// [`ConcurrentSet::min`].
+    pub fn max(&self) -> Option<K> {
+        if self.snapshot_reads {
+            return self.snap_read(|view| view.max().cloned());
+        }
+        self.read_via_round(|set| set.max().cloned())
     }
 
     /// Answers one membership query per key of a pre-sorted `batch`,
@@ -561,7 +808,22 @@ where
     /// Buffer-reusing variant of [`ConcurrentSet::batch_contains`]: flags
     /// land in `out` (cleared first), so a tier issuing many sub-batches
     /// can reuse one buffer per shard.
+    ///
+    /// With [`Options::snapshot_reads`] on the whole batch is answered from
+    /// one snapshot — one consistent linearisation point, no round, no log
+    /// entry; otherwise it commits as a combining round of its own.
     pub fn batch_contains_report(&self, batch: &Batch<K>, out: &mut Vec<bool>) {
+        if self.snapshot_reads {
+            self.check_poisoned();
+            if batch.is_empty() {
+                out.clear();
+                return;
+            }
+            self.read_snapshot()
+                .view()
+                .batch_contains_report(batch, out);
+            return;
+        }
         self.run_batch_op(OpKind::Contains, batch, out);
     }
 
@@ -619,6 +881,7 @@ where
                 }
                 debug_assert_eq!(out.len(), batch.len(), "one flag per batch key");
                 let seq = self.next_seq();
+                self.commit_round_state(seq, !matches!(kind, OpKind::Contains));
                 if let Some(log) = &self.log {
                     let ops = batch
                         .iter()
@@ -652,10 +915,23 @@ where
 
     /// Number of keys in the set.
     ///
-    /// Linearises as a combining round of its own: pending published
-    /// operations are flushed first, then the backing set is read under
-    /// the combiner flag.
+    /// A snapshot read under [`Options::snapshot_reads`] (the default);
+    /// otherwise it linearises as a combining round of its own: pending
+    /// published operations are flushed first, then the backing set is
+    /// read under the combiner flag.
     pub fn len(&self) -> usize {
+        if self.snapshot_reads {
+            return self.snap_read(|view| view.len());
+        }
+        self.read_via_round(|set| set.len())
+    }
+
+    /// Becomes the combiner (waiting out a concurrent one), flushes pending
+    /// published ops, and reads the backing set under the flag — the
+    /// round-entering read path behind `len`/`rank`/`min`/`max` when
+    /// snapshot reads are off.
+    fn read_via_round<T>(&self, read: impl FnOnce(&S) -> T) -> T {
+        let mut read = Some(read);
         loop {
             self.check_poisoned();
             if self.lock_combiner() {
@@ -665,11 +941,85 @@ where
                 self.combine_round();
                 // SAFETY: we hold the combiner flag, the only licence to
                 // touch `set`.
-                return unsafe { &*self.set.get() }.len();
+                return (read.take().expect("called once"))(unsafe { &*self.set.get() });
             }
             self.wait_until(|| {
                 !self.combiner.load(Ordering::Acquire) || self.poisoned.load(Ordering::Acquire)
             });
+        }
+    }
+
+    /// One wait-free point read against the published snapshot: the query
+    /// runs inside the cell's borrow window (no `Arc` refcount traffic —
+    /// the read-side cost is two borrow-count bumps plus the counter), so
+    /// the snapshot path stays cheaper than electing a combiner even on
+    /// the uncontended fast path.  Lag is *not* sampled here; it is
+    /// recorded on the handle and batch reads, where its cost amortises.
+    fn snap_read<T>(&self, read: impl FnOnce(&dyn SetView<K>) -> T) -> T {
+        self.check_poisoned();
+        let result = self.snap.with_snap(|snap| read(snap.view()));
+        self.metrics.snapshot_reads.inc();
+        result
+    }
+
+    /// The last published [`ReadSnapshot`]: contents plus the seq of the
+    /// mutating round they reflect.  Lock-free; counts as a snapshot read
+    /// in the metrics (and samples `combine.snapshot_lag`).  Unlike the
+    /// read operations this does **not** check for poisoning — like
+    /// [`ConcurrentSet::is_poisoned`] it is a supervisor-grade accessor
+    /// (the snapshot predates the poisoned round: a panicking round never
+    /// publishes).
+    pub fn read_snapshot(&self) -> Arc<ReadSnapshot<K>> {
+        let snap = self.snap.load();
+        self.metrics.snapshot_reads.inc();
+        let committed = self.committed.load(Ordering::Acquire);
+        self.metrics
+            .snapshot_lag
+            .record(committed.saturating_sub(snap.seq));
+        snap
+    }
+
+    /// Seq of the last committed round of any kind — the high-water mark a
+    /// client passes to [`ConcurrentSet::read_at_least`] to read its own
+    /// (and every earlier acknowledged) write.
+    pub fn committed_seq(&self) -> u64 {
+        self.committed.load(Ordering::Acquire)
+    }
+
+    /// Snapshot read with a freshness floor: returns a snapshot whose
+    /// *contents* include every round with seq `<= want`, spinning (and
+    /// combining pending rounds itself when it can) until one is published.
+    ///
+    /// The returned snapshot's [`ReadSnapshot::seq`] may still be below
+    /// `want` when the rounds in between were read-only — they changed
+    /// nothing, so the older root is content-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the front-end is poisoned (`want` may never arrive) or if
+    /// `want` exceeds every seq this set will ever commit — callers pass
+    /// marks they observed, e.g. [`ConcurrentSet::committed_seq`].
+    pub fn read_at_least(&self, want: u64) -> Arc<ReadSnapshot<K>> {
+        loop {
+            self.check_poisoned();
+            // `committed` is loaded *before* the snapshot: if rounds
+            // `(snap.seq, want]` were all committed by then and none of
+            // them published, none mutated — the snapshot loaded *after*
+            // is content-exact through `want` (a later mutating publish
+            // only makes it fresher).
+            let committed = self.committed.load(Ordering::Acquire);
+            let snap = self.snap.load();
+            if snap.seq >= want || committed >= want {
+                self.metrics.snapshot_reads.inc();
+                self.metrics
+                    .snapshot_lag
+                    .record(committed.saturating_sub(snap.seq));
+                return snap;
+            }
+            // Behind: help drain pending rounds (we may become the
+            // combiner ourselves) rather than bust-waiting.
+            self.try_combine();
+            std::thread::yield_now();
         }
     }
 
@@ -679,35 +1029,24 @@ where
         self.len() == 0
     }
 
-    /// Collects every key currently in the set (ascending) together with
-    /// the sequence number of the last committed round — a consistent
-    /// snapshot *and* its high-water mark, taken at one linearisation
-    /// point.
+    /// Collects every key of the last published snapshot (ascending)
+    /// together with the sequence number it reflects — a consistent
+    /// snapshot *and* its high-water mark, from one linearisation point.
     ///
-    /// Like [`ConcurrentSet::len`], the caller becomes the combiner and
-    /// flushes pending published ops first, so the returned contents
-    /// reflect exactly the rounds with seq ≤ the returned mark and nothing
-    /// newer.  This pair is the durability tier's snapshot primitive:
-    /// persist the keys, record the mark, and replay only log records with
-    /// seq above it.
+    /// Served from the published [`ReadSnapshot`] (regardless of
+    /// [`Options::snapshot_reads`]), so it never enters a round and never
+    /// races a combiner: a round that panics mid-execution never publishes,
+    /// so a half-applied round's view is structurally unreachable from
+    /// here.  Pending published ops are *not* flushed — the pair reflects
+    /// acknowledged rounds only (every acknowledged write is covered,
+    /// because rounds publish before they acknowledge).  This is the
+    /// durability tier's snapshot primitive: persist the keys, record the
+    /// mark, and replay only log records with seq above it — rounds above
+    /// the mark that mutated nothing are safe to replay anyway.
     pub fn snapshot_keys(&self) -> (Vec<K>, u64) {
-        loop {
-            self.check_poisoned();
-            if self.lock_combiner() {
-                let _unlock = CombinerGuard { set: self };
-                // Post-CAS re-check, as in `try_fast_op`.
-                self.check_poisoned();
-                self.combine_round();
-                // SAFETY: we hold the combiner flag — exclusive access to
-                // the set and the seq counter.
-                let keys = unsafe { &*self.set.get() }.collect_keys();
-                let seq = unsafe { *self.seq.get() };
-                return (keys, seq);
-            }
-            self.wait_until(|| {
-                !self.combiner.load(Ordering::Acquire) || self.poisoned.load(Ordering::Acquire)
-            });
-        }
+        self.check_poisoned();
+        let snap = self.snap.load();
+        (snap.view().collect_keys(), snap.seq())
     }
 
     /// Snapshot of the combining counters.
@@ -829,6 +1168,7 @@ where
             OpKind::Contains => set.contains(key),
         };
         let seq = self.next_seq();
+        self.commit_round_state(seq, !matches!(kind, OpKind::Contains));
         if let Some(log) = &self.log {
             log.lock().unwrap().push(Round {
                 seq,
@@ -914,6 +1254,24 @@ where
         self.check_poisoned();
         self.combine_round();
         true
+    }
+
+    /// Commits a round's read-path state: republishes the snapshot when
+    /// the round could have mutated the backend, then advances the
+    /// `committed` mark.  Caller must hold the combiner flag and call this
+    /// *after* [`ConcurrentSet::next_seq`] but **before** logging the round
+    /// or storing any client's `done` flag — publish-before-acknowledge is
+    /// the whole read-your-writes guarantee.  Runs on every round, even
+    /// with [`Options::snapshot_reads`] off: `snapshot_keys` and
+    /// `read_at_least` serve from the cell regardless.
+    fn commit_round_state(&self, seq: u64, mutated: bool) {
+        if mutated {
+            // SAFETY: combiner flag held — exclusive set access (the
+            // round's own `&mut` borrow is dead by the time this runs).
+            let view = unsafe { &*self.set.get() }.publish_root();
+            self.snap.publish(Arc::new(ReadSnapshot { seq, view }));
+        }
+        self.committed.store(seq, Ordering::Release);
     }
 
     /// Allocates the sequence number for a round about to commit.  Caller
@@ -1102,8 +1460,10 @@ where
         // Log the round *before* releasing any client: once a `done` flag
         // is stored its client may return and immediately `take_rounds`,
         // which must already contain every round whose results have been
-        // observed.
+        // observed.  The snapshot publishes first for the same reason —
+        // a released client must find its write in the next snapshot read.
         let seq = self.next_seq();
+        self.commit_round_state(seq, !ins_batch.is_empty() || !rem_batch.is_empty());
         if let (Some(log), Some(round)) = (&self.log, logged) {
             log.lock().unwrap().push(Round { seq, ops: round });
         }
@@ -1257,6 +1617,10 @@ mod tests {
         }
     }
 
+    /// Round-path harness: snapshot reads off, so every read linearises
+    /// through the combiner and lands in the round log — what the replay
+    /// assertions below count on.  Snapshot-path behaviour has its own
+    /// tests.
     fn fresh(log: bool) -> ConcurrentSet<u64, VecSet> {
         ConcurrentSet::with_options(
             VecSet(Vec::new()),
@@ -1264,6 +1628,7 @@ mod tests {
             Options {
                 pool_cutoff: 4,
                 log_rounds: log,
+                snapshot_reads: false,
                 ..Options::default()
             },
         )
@@ -1609,6 +1974,162 @@ mod tests {
             assert!(span.end_ns >= span.start_ns);
         }
         assert!(set.take_trace().is_empty(), "take drains");
+    }
+
+    /// Snapshot-path harness: default `snapshot_reads: true`, log on so
+    /// the tests can prove reads *stay out* of the round log.
+    fn fresh_snap() -> ConcurrentSet<u64, VecSet> {
+        ConcurrentSet::with_options(
+            VecSet(Vec::new()),
+            Pool::new(1).unwrap(),
+            Options {
+                pool_cutoff: 4,
+                log_rounds: true,
+                ..Options::default()
+            },
+        )
+    }
+
+    #[test]
+    fn snapshot_reads_bypass_the_combiner() {
+        let set = fresh_snap();
+        // Read-your-writes: every acknowledged insert is visible to the
+        // very next snapshot read.
+        for k in [5u64, 1, 9] {
+            assert!(set.insert(k));
+            assert!(set.contains(&k), "write to {k} not visible to read");
+        }
+        assert!(!set.contains(&2));
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.rank(&9), 2);
+        assert_eq!(set.min(), Some(1));
+        assert_eq!(set.max(), Some(9));
+        assert_eq!(
+            set.batch_contains(&Batch::from_unsorted(vec![1u64, 2, 9])),
+            vec![true, false, true]
+        );
+        assert!(set.remove(&9));
+        assert!(!set.contains(&9), "remove not visible to read");
+        let _handle = set.read_snapshot();
+
+        // None of those reads entered a round: the log holds only the
+        // four writes, and no Contains op anywhere.
+        let rounds = set.take_rounds();
+        assert_eq!(rounds.len(), 4);
+        assert!(rounds
+            .iter()
+            .flat_map(|r| &r.ops)
+            .all(|op| op.kind != OpKind::Contains));
+        assert_eq!(set.committed_seq(), 4, "reads consume no seqs");
+
+        let m = set.metrics();
+        let snap_reads = m.counter("combine.snapshot_reads").unwrap();
+        assert!(snap_reads >= 10, "every read served by snapshot");
+        // Lag is sampled on handle and batch reads (point reads skip it
+        // to stay cheaper than the combiner fast path): one sample for
+        // the batch_contains above, one for the read_snapshot.
+        assert_eq!(
+            m.histogram("combine.snapshot_lag").unwrap().count(),
+            2,
+            "one lag sample per handle/batch read"
+        );
+        assert_eq!(m.counter("combine.ops"), Some(4), "writes only");
+    }
+
+    #[test]
+    fn snapshots_are_frozen_at_their_seq() {
+        let set = fresh_snap();
+        set.batch_insert(&Batch::from_unsorted(vec![1u64, 2, 3]));
+        let before = set.read_snapshot();
+        assert!(set.insert(10));
+        assert!(set.remove(&1));
+        let after = set.read_snapshot();
+        // The old snapshot still answers as of its own round.
+        assert_eq!(before.seq(), 1);
+        assert!(before.view().contains(&1) && !before.view().contains(&10));
+        assert_eq!(before.view().collect_keys(), vec![1, 2, 3]);
+        assert_eq!(after.seq(), 3);
+        assert!(!after.view().contains(&1) && after.view().contains(&10));
+        // `snapshot_keys` pairs the same way, without entering a round.
+        let (keys, seq) = set.snapshot_keys();
+        assert_eq!((keys, seq), (vec![2, 3, 10], 3));
+        assert_eq!(set.committed_seq(), 3, "snapshot consumed no seq");
+    }
+
+    #[test]
+    fn read_at_least_reads_the_named_write() {
+        let set = fresh_snap();
+        set.insert(7);
+        let mark = set.committed_seq();
+        assert_eq!(mark, 1);
+        let snap = set.read_at_least(mark);
+        assert!(snap.seq() >= mark);
+        assert!(snap.view().contains(&7));
+
+        // With snapshot reads off, read-only rounds advance `committed`
+        // without republishing: the mark trails, the contents do not.
+        let set = fresh(false);
+        set.insert(1);
+        assert!(set.contains(&1)); // a combining round of its own
+        assert_eq!(set.committed_seq(), 2);
+        let snap = set.read_at_least(2);
+        assert_eq!(snap.seq(), 1, "mutating publish was round 1");
+        assert!(
+            snap.view().contains(&1),
+            "contents exact through the wanted mark"
+        );
+    }
+
+    #[test]
+    fn snapshot_reads_panic_on_poison_without_blocking() {
+        let set = ConcurrentSet::with_options(
+            BombSet(VecSet(Vec::new())),
+            Pool::new(1).unwrap(),
+            Options {
+                pool_cutoff: 0,
+                ..Options::default()
+            },
+        );
+        assert!(set.insert(3));
+        assert!(set.contains(&3), "snapshot read before poisoning");
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            set.insert(u64::MAX);
+        }));
+        assert!(boom.is_err());
+        // Every snapshot-served entry point fails fast with the poison
+        // message — no hang, no stale answer.
+        let reads: Vec<Box<dyn Fn() + '_>> = vec![
+            Box::new(|| {
+                set.contains(&3);
+            }),
+            Box::new(|| {
+                set.len();
+            }),
+            Box::new(|| {
+                set.rank(&3);
+            }),
+            Box::new(|| {
+                set.min();
+            }),
+            Box::new(|| {
+                set.snapshot_keys();
+            }),
+            Box::new(|| {
+                set.batch_contains(&Batch::from_unsorted(vec![3u64]));
+            }),
+            Box::new(|| {
+                set.read_at_least(1);
+            }),
+        ];
+        for read in reads {
+            let after = std::panic::catch_unwind(std::panic::AssertUnwindSafe(read));
+            let payload = after.unwrap_err();
+            let msg = payload.downcast_ref::<&str>().expect("str payload");
+            assert!(msg.contains("poisoned"), "{msg}");
+        }
+        // The supervisor-grade accessor still answers: the last published
+        // snapshot predates the poisoned round.
+        assert!(set.read_snapshot().view().contains(&3));
     }
 
     #[test]

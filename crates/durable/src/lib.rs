@@ -27,11 +27,14 @@
 //!   survives any crash.  [`DurableSet::sync`] forces the boundary.
 //! * **Snapshot.**  Every [`DurableOptions::snapshot_every`] appended
 //!   records (or on [`DurableSet::snapshot`]), the set's full contents are
-//!   captured at one linearisation point ([`combine::ConcurrentSet::snapshot_keys`]),
-//!   written to a snapshot file, and committed by atomically renaming a
-//!   manifest into place.  At that moment every record in every log
-//!   segment has seq at or below the snapshot's, so *all* segments are
-//!   deleted and the log restarts empty — bounded disk, bounded recovery.
+//!   captured at one linearisation point ([`combine::ConcurrentSet::snapshot_keys`],
+//!   which serves the combiner-published read snapshot without entering a
+//!   round), written to a snapshot file, and committed by atomically
+//!   renaming a manifest into place.  Because the combiner publishes a
+//!   round's snapshot *before* appending the round to the commit log, the
+//!   snapshot's seq covers every record already drained into the wal, so
+//!   *all* segments are deleted and the log restarts empty — bounded disk,
+//!   bounded recovery.
 //! * **Recover.**  [`DurableSet::open`] loads the manifest's snapshot (if
 //!   any) and replays log records with seq above it, in segment-name
 //!   order, into a fresh backend.  A torn final record — the signature of
@@ -216,7 +219,7 @@ impl Metrics {
 /// recovers everything durable up to that point.
 pub struct DurableSet<K, S>
 where
-    K: Ord + Clone + Send + Sync + KeyCodec,
+    K: Ord + Clone + Send + Sync + KeyCodec + 'static,
     S: BatchedSet<K> + Send,
 {
     inner: ConcurrentSet<K, S>,
@@ -230,7 +233,7 @@ where
 
 impl<K, S> DurableSet<K, S>
 where
-    K: Ord + Clone + Send + Sync + KeyCodec,
+    K: Ord + Clone + Send + Sync + KeyCodec + 'static,
     S: BatchedSet<K> + Send,
 {
     /// Opens (creating if absent) the durable set rooted at `dir`,
@@ -583,9 +586,13 @@ where
         // if the snapshot fails mid-way the log must still stand alone.
         self.fsync_wal(wal)?;
 
-        // One linearisation point: contents plus their high-water seq.
-        // Rounds committed before it but drained after will land in the
-        // *next* segment with seq <= snap — skipped at replay, harmless.
+        // One linearisation point: contents plus their high-water seq,
+        // read from the combiner-published snapshot (no round entered).
+        // Every record drained above carries seq <= snap_seq, because its
+        // round published the snapshot cell *before* entering the commit
+        // log and the cell is monotone.  Rounds that publish between the
+        // drain and this load land in the *next* segment with seq <= snap
+        // — skipped at replay, harmless (the snapshot already holds them).
         let (keys, snap_seq) = self.inner.snapshot_keys();
         let name = write_snapshot(&self.dir, snap_seq, &keys)?;
         commit_manifest(&self.dir, snap_seq, &name)?;
@@ -616,7 +623,7 @@ where
 
 impl<K, S> Drop for DurableSet<K, S>
 where
-    K: Ord + Clone + Send + Sync + KeyCodec,
+    K: Ord + Clone + Send + Sync + KeyCodec + 'static,
     S: BatchedSet<K> + Send,
 {
     fn drop(&mut self) {

@@ -257,6 +257,115 @@ fn flipping_any_wal_byte_recovers_the_prefix_before_the_damage() {
     fs::remove_dir_all(&base).unwrap();
 }
 
+/// All `wal-*.log` segments in `dir` as `(file name, byte length)`,
+/// sorted by name (= sequence order).
+fn wal_segments(dir: &Path) -> Vec<(String, u64)> {
+    let mut segments: Vec<(String, u64)> = fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            e.file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+        })
+        .map(|e| {
+            (
+                e.file_name().to_str().unwrap().to_owned(),
+                e.metadata().unwrap().len(),
+            )
+        })
+        .collect();
+    segments.sort();
+    segments
+}
+
+/// Regression: a record larger than `segment_bytes` must append *whole*
+/// to a single fresh segment — exactly one rotation, never a split
+/// across segments, never a rotate-forever loop — and the state must
+/// survive a reopen.  The rotation check runs once per record (before
+/// the append), so an oversized record is legal in exactly one place:
+/// alone at the head of the segment it forced open.
+#[test]
+fn an_oversized_record_appends_whole_to_one_fresh_segment() {
+    let dir = scratch_dir("oversize");
+    let open_tiny = |dir: &Path| {
+        DurableSet::open(
+            dir,
+            Pool::new(1).expect("pool"),
+            DurableOptions {
+                group_commit: 1,
+                snapshot_every: 0,
+                segment_bytes: 64,
+                ..DurableOptions::default()
+            },
+            |batch| IstSet::from_batch(&batch),
+        )
+        .expect("open durable set")
+    };
+
+    let set = open_tiny(&dir);
+    // Push the active segment past the 64-byte threshold with small
+    // records, so the oversized record's own rotation check fires.
+    for i in 0..6u64 {
+        assert!(set.insert(i).expect("insert"));
+    }
+    let before = wal_segments(&dir);
+    assert!(
+        before.len() >= 2,
+        "fixture should already have rotated under 64-byte segments: {before:?}"
+    );
+
+    // One batch round drains to one WAL record: 200 keys is a single
+    // record ~25x the segment threshold.
+    let big: Vec<u64> = (1_000..1_200u64).collect();
+    assert!(
+        set.batch_insert(&Batch::from_unsorted(big.clone()))
+            .expect("batch_insert")
+            .iter()
+            .all(|&fresh| fresh),
+        "all 200 keys are new"
+    );
+
+    let after = wal_segments(&dir);
+    assert_eq!(
+        after.len(),
+        before.len() + 1,
+        "the oversized record must force exactly one rotation: {before:?} -> {after:?}"
+    );
+    assert_eq!(
+        &after[..before.len()],
+        &before[..],
+        "sealed segments must be untouched — the record must not split across files"
+    );
+    let (_, fresh_len) = after.last().unwrap();
+    assert!(
+        *fresh_len >= 200 * 8,
+        "the whole record (>= 1600 bytes of keys) must sit in the fresh segment, got {fresh_len}"
+    );
+
+    // A follow-up small record rotates once more (the oversized segment
+    // is over threshold) instead of re-triggering on the same record.
+    assert!(set.insert(9_999).expect("insert after oversize"));
+    assert_eq!(
+        wal_segments(&dir).len(),
+        after.len() + 1,
+        "exactly one more rotation for the next record"
+    );
+
+    set.close().expect("close");
+    let set = open_tiny(&dir);
+    let mut expect: Vec<u64> = (0..6u64).chain(big).collect();
+    expect.push(9_999);
+    expect.sort_unstable();
+    assert_eq!(
+        contents(&set),
+        expect,
+        "recovery must replay the oversized record byte-for-byte"
+    );
+    drop(set);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn flipping_any_manifest_or_snapshot_byte_refuses_to_open() {
     let base = scratch_dir("snap-fuzz-base");

@@ -5,6 +5,14 @@
 //! `Vec`s rather than fixed-size arrays.  Each inner node keeps the router
 //! keys separating its children plus the bounds of its key range, which is
 //! what the interpolation step needs.
+//!
+//! Children are held behind `Arc` so a published read snapshot
+//! ([`batchapi::SetView`], via `IstSet::publish_root`) shares the tree
+//! structurally: updates copy-on-write exactly the root-to-leaf path they
+//! edit (`Arc::make_mut` clones a node only while a snapshot still
+//! references it), leaving every outstanding snapshot untouched.
+
+use std::sync::Arc;
 
 /// Maps a key to a position on the real line so a node can interpolate.
 ///
@@ -111,8 +119,10 @@ pub struct LeafNode<K> {
 pub struct InnerNode<K> {
     /// Separator keys, strictly increasing; `len == children.len() - 1`.
     pub routers: Vec<K>,
-    /// The subtrees, each non-empty.
-    pub children: Vec<Node<K>>,
+    /// The subtrees, each non-empty.  `Arc` for structural sharing with
+    /// published read snapshots; the update path edits through
+    /// `Arc::make_mut` (copy-on-write).
+    pub children: Vec<Arc<Node<K>>>,
     /// Total number of keys under this node.
     pub len: usize,
     /// Number of keys under this node when its subtree was last (re)built.

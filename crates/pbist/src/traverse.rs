@@ -76,7 +76,7 @@ pub(crate) fn batch_contains_into<K>(
                 batch_rest = batch_tail;
                 out_rest = out_tail;
                 if seg_len > 0 {
-                    tasks.push((child, batch_seg, out_seg));
+                    tasks.push((child.as_ref(), batch_seg, out_seg));
                 }
             }
             if batch.len() <= SEQ_BATCH_LEN {

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use batchapi::{Batch, BatchedSet};
+use batchapi::{Batch, BatchedSet, SetView};
 
 use crate::metrics::{metrics_ref, touch_node, IstMetrics, IstMetricsSnapshot, MetricsRef};
 use crate::node::{
@@ -37,7 +37,10 @@ use crate::{traverse, update};
 /// ```
 #[derive(Debug, Clone)]
 pub struct IstSet<K> {
-    root: Option<Node<K>>,
+    /// `Arc` so [`BatchedSet::publish_root`] can hand out the whole tree in
+    /// `O(1)`; updates go through `Arc::make_mut`, path-copying exactly the
+    /// nodes a published snapshot still shares.
+    root: Option<Arc<Node<K>>>,
     /// Gates metric recording; the recursion carries `None` when disabled,
     /// so the default configuration pays one branch per instrumented site.
     obs: obs::Obs,
@@ -50,7 +53,7 @@ pub struct IstSet<K> {
 impl<K> IstSet<K> {
     fn with_root(root: Option<Node<K>>) -> IstSet<K> {
         IstSet {
-            root,
+            root: root.map(Arc::new),
             obs: obs::Obs::disabled(),
             metrics: Arc::new(IstMetrics::default()),
         }
@@ -110,7 +113,7 @@ impl<K: InterpolateKey + Clone + Send + Sync> IstSet<K> {
 
     /// Number of keys in the set.
     pub fn len(&self) -> usize {
-        self.root.as_ref().map_or(0, Node::len)
+        self.root.as_ref().map_or(0, |root| root.len())
     }
 
     /// Returns `true` when the set holds no keys.
@@ -120,12 +123,12 @@ impl<K: InterpolateKey + Clone + Send + Sync> IstSet<K> {
 
     /// The smallest key, or `None` for an empty set.
     pub fn min(&self) -> Option<&K> {
-        self.root.as_ref().map(Node::min_key)
+        self.root.as_ref().map(|root| root.min_key())
     }
 
     /// The largest key, or `None` for an empty set.
     pub fn max(&self) -> Option<&K> {
-        self.root.as_ref().map(Node::max_key)
+        self.root.as_ref().map(|root| root.max_key())
     }
 
     /// Clones every key out of the tree in ascending order, forking per
@@ -140,41 +143,18 @@ impl<K: InterpolateKey + Clone + Send + Sync> IstSet<K> {
 
     /// Returns `true` when `key` is present, descending by interpolation.
     pub fn contains(&self, key: &K) -> bool {
-        let m = self.obs_metrics();
-        let mut node = match &self.root {
-            Some(root) => root,
-            None => return false,
-        };
-        loop {
-            touch_node(m);
-            match node {
-                Node::Leaf(leaf) => return leaf_contains(&leaf.keys, key),
-                Node::Inner(inner) => {
-                    node = &inner.children[child_index(inner, key)];
-                }
-            }
+        match &self.root {
+            Some(root) => contains_in(root, key, self.obs_metrics()),
+            None => false,
         }
     }
 
     /// Number of keys strictly smaller than `key`: the interpolated descent
     /// plus the sizes of the subtrees it passes on its left.
     pub fn rank(&self, key: &K) -> usize {
-        let m = self.obs_metrics();
-        let mut node = match &self.root {
-            Some(root) => root,
-            None => return 0,
-        };
-        let mut before = 0;
-        loop {
-            touch_node(m);
-            match node {
-                Node::Leaf(leaf) => return before + leaf.keys.partition_point(|k| k < key),
-                Node::Inner(inner) => {
-                    let idx = child_index(inner, key);
-                    before += inner.children[..idx].iter().map(Node::len).sum::<usize>();
-                    node = &inner.children[idx];
-                }
-            }
+        match &self.root {
+            Some(root) => rank_in(root, key, self.obs_metrics()),
+            None => 0,
         }
     }
 
@@ -237,6 +217,20 @@ impl<K: InterpolateKey + Clone + Send + Sync> BatchedSet<K> for IstSet<K> {
         IstSet::collect_keys(self)
     }
 
+    fn publish_root(&self) -> Arc<dyn SetView<K>>
+    where
+        K: 'static,
+    {
+        // O(1): clone the root `Arc` (plus the metrics plumbing, so reads
+        // served from the snapshot keep counting nodes touched).  Updates
+        // after this call copy-on-write around the shared nodes.
+        Arc::new(IstView {
+            root: self.root.clone(),
+            obs: self.obs,
+            metrics: Arc::clone(&self.metrics),
+        })
+    }
+
     // The `_report` variants are the primary implementations: the traversal
     // and update recursions already write flags into a caller-provided
     // buffer, so reporting through a reused `Vec` is allocation-free once
@@ -280,9 +274,9 @@ impl<K: InterpolateKey + Clone + Send + Sync> BatchedSet<K> for IstSet<K> {
             return;
         }
         let root = match &mut self.root {
-            Some(root) => root,
+            Some(root) => Arc::make_mut(root),
             None => {
-                self.root = Some(build(batch.as_slice()));
+                self.root = Some(Arc::new(build(batch.as_slice())));
                 out.resize(batch.len(), true);
                 return;
             }
@@ -312,7 +306,7 @@ impl<K: InterpolateKey + Clone + Send + Sync> BatchedSet<K> for IstSet<K> {
             return;
         }
         let root = match &mut self.root {
-            Some(root) => root,
+            Some(root) => Arc::make_mut(root),
             None => {
                 out.resize(batch.len(), false);
                 return;
@@ -341,11 +335,11 @@ impl<K: InterpolateKey + Clone + Send + Sync> BatchedSet<K> for IstSet<K> {
     fn insert_one(&mut self, key: &K) -> bool {
         let m = metrics_ref(self.obs, &self.metrics);
         match &mut self.root {
-            Some(root) => update::insert_one(root, key, m),
+            Some(root) => update::insert_one(Arc::make_mut(root), key, m),
             None => {
-                self.root = Some(Node::Leaf(LeafNode {
+                self.root = Some(Arc::new(Node::Leaf(LeafNode {
                     keys: vec![key.clone()],
-                }));
+                })));
                 true
             }
         }
@@ -354,7 +348,7 @@ impl<K: InterpolateKey + Clone + Send + Sync> BatchedSet<K> for IstSet<K> {
     fn remove_one(&mut self, key: &K) -> bool {
         let m = metrics_ref(self.obs, &self.metrics);
         let root = match &mut self.root {
-            Some(root) => root,
+            Some(root) => Arc::make_mut(root),
             None => return false,
         };
         let removed = update::remove_one(root, key, m);
@@ -399,6 +393,120 @@ pub(crate) fn leaf_contains<K: InterpolateKey>(keys: &[K], key: &K) -> bool {
     false
 }
 
+/// The interpolated point-lookup descent, shared by the live tree and its
+/// published snapshots ([`IstView`]).
+fn contains_in<K: InterpolateKey>(root: &Node<K>, key: &K, m: MetricsRef<'_>) -> bool {
+    let mut node = root;
+    loop {
+        touch_node(m);
+        match node {
+            Node::Leaf(leaf) => return leaf_contains(&leaf.keys, key),
+            Node::Inner(inner) => {
+                node = &inner.children[child_index(inner, key)];
+            }
+        }
+    }
+}
+
+/// The rank descent (keys strictly below `key`), shared by the live tree
+/// and its published snapshots.
+fn rank_in<K: InterpolateKey>(root: &Node<K>, key: &K, m: MetricsRef<'_>) -> usize {
+    let mut node = root;
+    let mut before = 0;
+    loop {
+        touch_node(m);
+        match node {
+            Node::Leaf(leaf) => return before + leaf.keys.partition_point(|k| k < key),
+            Node::Inner(inner) => {
+                let idx = child_index(inner, key);
+                before += inner.children[..idx].iter().map(|c| c.len()).sum::<usize>();
+                node = &inner.children[idx];
+            }
+        }
+    }
+}
+
+/// An [`IstSet`] read snapshot: the root `Arc` frozen at one linearisation
+/// point, answering [`SetView`] queries with the same interpolated descents
+/// (and the same metrics plumbing) as the live tree.  Publication is `O(1)`
+/// — the update path copy-on-writes around outstanding snapshots.
+struct IstView<K> {
+    root: Option<Arc<Node<K>>>,
+    obs: obs::Obs,
+    metrics: Arc<IstMetrics>,
+}
+
+impl<K> IstView<K> {
+    fn obs_metrics(&self) -> MetricsRef<'_> {
+        metrics_ref(self.obs, &self.metrics)
+    }
+}
+
+impl<K: InterpolateKey + Clone + Send + Sync> SetView<K> for IstView<K> {
+    fn len(&self) -> usize {
+        self.root.as_ref().map_or(0, |root| root.len())
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        match &self.root {
+            Some(root) => contains_in(root, key, self.obs_metrics()),
+            None => false,
+        }
+    }
+
+    fn rank(&self, key: &K) -> usize {
+        match &self.root {
+            Some(root) => rank_in(root, key, self.obs_metrics()),
+            None => 0,
+        }
+    }
+
+    fn min(&self) -> Option<&K> {
+        self.root.as_ref().map(|root| root.min_key())
+    }
+
+    fn max(&self) -> Option<&K> {
+        self.root.as_ref().map(|root| root.max_key())
+    }
+
+    fn batch_contains_report(&self, batch: &Batch<K>, out: &mut Vec<bool>) {
+        out.clear();
+        if batch.is_empty() {
+            return;
+        }
+        let root = match &self.root {
+            Some(root) => root,
+            None => {
+                out.resize(batch.len(), false);
+                return;
+            }
+        };
+        // Same shape as the live tree's report path: point lookups for tiny
+        // batches, the joint traversal above that.
+        if batch.len() <= update::POINT_BATCH_LEN {
+            out.extend(batch.iter().map(|q| self.contains(q)));
+            return;
+        }
+        out.reserve(batch.len());
+        traverse::batch_contains_into(
+            root,
+            batch.as_slice(),
+            &mut out.spare_capacity_mut()[..batch.len()],
+            self.obs_metrics(),
+        );
+        // SAFETY: the traversal writes every one of the first `batch.len()`
+        // slots exactly once (children cover disjoint batch segments).
+        unsafe { out.set_len(batch.len()) };
+    }
+
+    fn collect_keys(&self) -> Vec<K> {
+        match &self.root {
+            Some(root) => update::collect_keys(root),
+            None => Vec::new(),
+        }
+    }
+}
+
 /// Builds the subtree for one strictly-increasing run of keys, recursing over
 /// children in parallel via `parprim::map`.
 pub(crate) fn build<K: InterpolateKey + Clone + Send + Sync>(keys: &[K]) -> Node<K> {
@@ -415,7 +523,7 @@ pub(crate) fn build<K: InterpolateKey + Clone + Send + Sync>(keys: &[K]) -> Node
     let routers: Vec<K> = chunks[1..].iter().map(|c| c[0].clone()).collect();
     // Each element is a whole subtree build: fork per chunk, not by the
     // element-count heuristic (which would never fork over <= 64 children).
-    let children = parprim::map_with_grain(&chunks, 1, |c| build(c));
+    let children = parprim::map_with_grain(&chunks, 1, |c| Arc::new(build(c)));
     Node::Inner(InnerNode {
         routers,
         children,
@@ -458,14 +566,14 @@ fn check_node<K: InterpolateKey>(node: &Node<K>) -> Result<(), String> {
                     inner.children.len()
                 ));
             }
-            let child_sum: usize = inner.children.iter().map(Node::len).sum();
+            let child_sum: usize = inner.children.iter().map(|c| c.len()).sum();
             if inner.len != child_sum {
                 return Err(format!(
                     "inner len {} but children sum to {child_sum}",
                     inner.len
                 ));
             }
-            if inner.children.iter().any(Node::is_empty) {
+            if inner.children.iter().any(|c| c.is_empty()) {
                 return Err("inner node kept an empty child".into());
             }
             if inner.min != *inner.children[0].min_key() {
@@ -509,7 +617,7 @@ mod tests {
     #[test]
     fn small_tree_is_one_leaf() {
         let set = IstSet::from_unsorted(vec![3u64, 1, 2]);
-        assert!(matches!(set.root, Some(Node::Leaf(_))));
+        assert!(matches!(set.root.as_deref(), Some(Node::Leaf(_))));
         assert_eq!(set.len(), 3);
         assert_eq!(set.min(), Some(&1));
         assert_eq!(set.max(), Some(&3));
@@ -580,12 +688,12 @@ mod tests {
     #[test]
     fn batch_insert_grows_a_leaf_into_a_tree() {
         let mut set = IstSet::from_sorted((0..100u64).map(|i| i * 2).collect());
-        assert!(matches!(set.root, Some(Node::Leaf(_))));
+        assert!(matches!(set.root.as_deref(), Some(Node::Leaf(_))));
         // Push well past LEAF_CAPACITY so the root leaf must be rebuilt.
         let batch = Batch::from_unsorted((0..3000u64).map(|i| i * 2 + 1).collect());
         let newly = set.batch_insert(&batch);
         assert!(newly.iter().all(|&n| n));
-        assert!(matches!(set.root, Some(Node::Inner(_))));
+        assert!(matches!(set.root.as_deref(), Some(Node::Inner(_))));
         assert_eq!(set.len(), 3100);
         set.check_invariants().unwrap();
         assert!(set.contains(&1));
@@ -692,6 +800,47 @@ mod tests {
         assert!(!set.insert_one(&77));
         assert!(set.contains(&77));
         assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn publish_root_shares_structure_and_stays_frozen() {
+        let mut set = IstSet::from_sorted((0..10_000u64).map(|i| i * 2).collect());
+        let view = set.publish_root();
+        assert_eq!(view.len(), 10_000);
+        assert!(view.contains(&4) && !view.contains(&5));
+        assert_eq!(view.rank(&10), 5);
+        assert_eq!(view.min(), Some(&0));
+        assert_eq!(view.max(), Some(&19_998));
+
+        // Point and batched updates after publication copy-on-write: the
+        // live tree moves on, the snapshot does not.
+        assert!(set.insert_one(&5));
+        set.batch_insert(&Batch::from_unsorted(
+            (0..500u64).map(|i| i * 2 + 7).collect(),
+        ));
+        set.check_invariants().unwrap();
+        assert!(set.contains(&5));
+        assert!(!view.contains(&5), "snapshot saw a later insert");
+        assert_eq!(view.len(), 10_000, "snapshot length drifted");
+        assert_eq!(view.collect_keys().len(), 10_000);
+
+        // A fresh publication sees the new state; batch queries agree with
+        // the live tree on both the joint-traversal and point paths.
+        let fresh = set.publish_root();
+        assert!(fresh.contains(&5));
+        for batch_len in [4u64, 3_000] {
+            let probes = Batch::from_unsorted((0..batch_len).map(|i| i * 3).collect());
+            assert_eq!(fresh.batch_contains(&probes), set.batch_contains(&probes));
+        }
+
+        // Empty-set views answer like empty sets.
+        let empty: IstSet<u64> = IstSet::from_sorted(Vec::new());
+        let view = empty.publish_root();
+        assert!(view.is_empty());
+        assert!(!view.contains(&1));
+        assert_eq!(view.rank(&1), 0);
+        assert_eq!(view.min(), None);
+        assert!(view.collect_keys().is_empty());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! a subtree are pruned by the parent (single survivors are hoisted).
 
 use std::mem::MaybeUninit;
+use std::sync::Arc;
 
 use crate::metrics::{touch_leaf_edit, touch_node, touch_rebuild, MetricsRef};
 use crate::node::{InnerNode, InterpolateKey, LeafNode, Node, LEAF_CAPACITY};
@@ -122,7 +123,7 @@ where
     if let Node::Inner(inner) = node {
         if inner.children.len() < 2 {
             *node = match inner.children.pop() {
-                Some(only) => only,
+                Some(only) => Arc::unwrap_or_clone(only),
                 None => Node::Leaf(LeafNode { keys: Vec::new() }),
             };
         }
@@ -159,7 +160,7 @@ where
         },
         Node::Inner(inner) => {
             let idx = child_index(inner, key);
-            let added = insert_one(&mut inner.children[idx], key, m);
+            let added = insert_one(Arc::make_mut(&mut inner.children[idx]), key, m);
             if added {
                 inner.len += 1;
                 if *key < inner.min {
@@ -197,7 +198,7 @@ where
         },
         Node::Inner(inner) => {
             let idx = child_index(inner, key);
-            let removed = remove_one(&mut inner.children[idx], key, m);
+            let removed = remove_one(Arc::make_mut(&mut inner.children[idx]), key, m);
             if removed {
                 inner.len -= 1;
                 if inner.children[idx].is_empty() {
@@ -235,7 +236,7 @@ where
     if let Node::Inner(inner) = node {
         if inner.children.len() < 2 {
             *node = match inner.children.pop() {
-                Some(only) => only,
+                Some(only) => Arc::unwrap_or_clone(only),
                 None => Node::Leaf(LeafNode { keys: Vec::new() }),
             };
         }
@@ -276,7 +277,7 @@ where
             for child in &inner.children {
                 let (out_seg, out_tail) = out_rest.split_at_mut(child.len());
                 out_rest = out_tail;
-                tasks.push((child, out_seg));
+                tasks.push((child.as_ref(), out_seg));
             }
             if inner.len <= SEQ_COLLECT_LEN {
                 for (child, out_seg) in tasks.iter_mut() {
@@ -317,7 +318,9 @@ where
         batch_rest = batch_tail;
         out_rest = out_tail;
         if seg_len > 0 {
-            tasks.push((child, batch_seg, out_seg, 0));
+            // Copy-on-write: only children actually receiving updates are
+            // unshared from outstanding snapshots.
+            tasks.push((Arc::make_mut(child), batch_seg, out_seg, 0));
         }
     }
     if batch.len() <= SEQ_BATCH_LEN {

@@ -47,7 +47,7 @@ const TIER_MAGIC: &str = "pbtier-v1";
 /// on-disk layout and the (per-shard) consistency contract.
 pub struct DurableTier<K, S, R>
 where
-    K: Ord + Clone + Send + Sync + KeyCodec,
+    K: Ord + Clone + Send + Sync + KeyCodec + 'static,
     S: BatchedSet<K> + Send,
 {
     router: R,
@@ -99,7 +99,7 @@ fn check_tier_manifest(dir: &Path, num_shards: usize) -> io::Result<()> {
 
 impl<K, S, R> DurableTier<K, S, R>
 where
-    K: Ord + Clone + Send + Sync + KeyCodec,
+    K: Ord + Clone + Send + Sync + KeyCodec + 'static,
     S: BatchedSet<K> + Send,
     R: ShardRouter<K>,
 {

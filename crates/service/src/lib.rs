@@ -192,7 +192,7 @@ pub struct ShardedSet<K, S, R> {
 
 impl<K, S, R> ShardedSet<K, S, R>
 where
-    K: Ord + Clone + Send + Sync,
+    K: Ord + Clone + Send + Sync + 'static,
     S: BatchedSet<K> + Send,
     R: ShardRouter<K> + Sync,
 {
@@ -270,9 +270,12 @@ where
         self.shards[self.router.shard_of(key)].remove(key)
     }
 
-    /// Returns `true` iff `key` is present on its owning shard.
+    /// Returns `true` iff `key` is present on its owning shard — a
+    /// wait-free read against the shard's published snapshot when the
+    /// shards were built with [`combine::Options::snapshot_reads`] (the
+    /// default).
     pub fn contains(&self, key: &K) -> bool {
-        self.check_poisoned();
+        self.check_read_poisoned();
         self.metrics.point_ops.inc();
         let _promote = self.poison_guard();
         self.shards[self.router.shard_of(key)].contains(key)
@@ -324,7 +327,7 @@ where
     /// linearisation point; the sum is **not** a consistent cross-shard
     /// cut (see the [module docs](self)).
     pub fn len(&self) -> usize {
-        self.check_poisoned();
+        self.check_read_poisoned();
         let _promote = self.poison_guard();
         self.shards.iter().map(ConcurrentSet::len).sum()
     }
@@ -373,7 +376,11 @@ where
     /// `parallel_cutoff` keys), and stitches the per-shard flags back into
     /// batch order.
     fn run_batch(&self, kind: OpKind, batch: &Batch<K>, out: &mut Vec<bool>) {
-        self.check_poisoned();
+        if matches!(kind, OpKind::Contains) {
+            self.check_read_poisoned();
+        } else {
+            self.check_poisoned();
+        }
         out.clear();
         if batch.is_empty() {
             return;
@@ -400,7 +407,13 @@ where
             .map(|(shard, (sub, run))| (shard, sub, run))
             .collect();
 
-        if batch.len() >= self.parallel_cutoff && tasks.len() > 1 {
+        // All-read batches skip the tier pool: each sub-batch is answered
+        // from its shard's published snapshot (a few binary searches), so
+        // a pool round-trip would cost more than the reads themselves.
+        let pooled = !matches!(kind, OpKind::Contains)
+            && batch.len() >= self.parallel_cutoff
+            && tasks.len() > 1;
+        if pooled {
             // Each task is a whole shard round, so fork with grain 1 (the
             // element-count heuristic would be wrong — see pbist::traverse).
             self.pool.install(|| {
@@ -439,13 +452,32 @@ where
     /// [module docs](self)).
     fn check_poisoned(&self) {
         if self.poisoned.load(Ordering::Acquire) {
-            panic!(
-                "ShardedSet is poisoned: a shard's backend panicked mid-round, \
-                 so that shard's state is indeterminate"
-            );
+            panic!("{}", TIER_POISON_MSG);
+        }
+    }
+
+    /// Read-path poison check: polls the shards as well as the tier flag
+    /// (exactly what [`ShardedSet::is_poisoned`] reports), so a read never
+    /// reaches a poisoned shard and dies with that shard's own message —
+    /// or worse, after the tier looked healthy.  A shard poisoned behind
+    /// the tier's back (its client panicked without unwinding through a
+    /// tier guard) is promoted to tier-level poison here, and the read
+    /// fails fast with the tier-level error.
+    fn check_read_poisoned(&self) {
+        if self.poisoned.load(Ordering::Acquire)
+            || self.shards.iter().any(ConcurrentSet::is_poisoned)
+        {
+            if !self.poisoned.swap(true, Ordering::SeqCst) {
+                self.metrics.poisoned.inc();
+            }
+            panic!("{}", TIER_POISON_MSG);
         }
     }
 }
+
+/// The tier-level poison error every tier entry point fails with.
+const TIER_POISON_MSG: &str = "ShardedSet is poisoned: a shard's backend panicked mid-round, \
+     so that shard's state is indeterminate";
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,256 @@
+//! Wait-free read benchmark: the snapshot read path
+//! ([`combine::Options::snapshot_reads`], the default) against the
+//! round-entering read path (`snapshot_reads: false`) on the same
+//! flat-combining front-end over `pbist::IstSet`, under read-dominated
+//! single-key traffic at 90/99/100% read mixes.
+//!
+//! This measures what the published-snapshot path buys for reads: a
+//! snapshot `contains` is two atomic loads plus a tree descent, while the
+//! round path must elect a combiner (or enqueue and wait for one) per
+//! read.  At the 100%-read mix every operation is a read, so ns/op *is*
+//! read ns/op — the number the CI smoke asserts on.
+//!
+//! A separate telemetry pass per mix re-runs the snapshot arm and embeds
+//! the front-end's registry snapshot (including the new
+//! `combine.snapshot_reads` counter and `combine.snapshot_lag` histogram)
+//! in the JSON.
+//!
+//! Deterministic (seeded per-client traces, fixed configuration), std-only
+//! timing; one line per measurement on stdout, full results in
+//! `BENCH_read.json`.
+//!
+//! ```sh
+//! cargo run --release --bin bench_read
+//! # CI smoke: tiny sizes, one repetition
+//! BENCH_READ_QUICK=1 cargo run --release --bin bench_read
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pbist_repro::{
+    bench_util::{assert_disabled_overhead, mean_of, min_of},
+    combine::{ConcurrentSet, Options},
+    forkjoin::Pool,
+    pbist::IstSet,
+    workloads::{self, ClientTrace, OpKind},
+};
+
+/// Benchmark sizes; `quick` is the CI smoke configuration.
+struct Config {
+    /// Keys pre-loaded into the set.
+    num_keys: usize,
+    /// Operations each client thread issues per run.
+    ops_per_client: usize,
+    /// Timed repetitions per measurement; best and mean are reported.
+    reps: usize,
+}
+
+const FULL: Config = Config {
+    num_keys: 100_000,
+    ops_per_client: 40_000,
+    reps: 3,
+};
+
+const QUICK: Config = Config {
+    num_keys: 5_000,
+    ops_per_client: 2_000,
+    reps: 2,
+};
+
+/// Client-thread counts measured.
+const CLIENT_COUNTS: [usize; 2] = [1, 4];
+/// Read mixes measured: percentage of contains ops, with the remaining
+/// updates split evenly between inserts and removes.
+const READ_MIXES: [(u32, workloads::OpMix); 3] =
+    [(90, (1, 1, 18)), (99, (1, 1, 198)), (100, (0, 0, 1))];
+/// Workers in the combiner's fork-join pool.
+const POOL_THREADS: usize = 2;
+
+struct Measurement {
+    path: &'static str,
+    read_pct: u32,
+    clients: usize,
+    best_ns_per_op: f64,
+    mean_ns_per_op: f64,
+}
+
+/// One mix's instrumented snapshot-arm run: the front-end registry
+/// snapshot, carrying `combine.snapshot_reads` and `combine.snapshot_lag`.
+struct Telemetry {
+    read_pct: u32,
+    clients: usize,
+    snapshot_reads: u64,
+    combine_json: String,
+}
+
+fn main() {
+    let quick = std::env::var_os("BENCH_READ_QUICK").is_some();
+    let cfg = if quick { QUICK } else { FULL };
+    let range = 0..(cfg.num_keys as u64 * 2);
+
+    let overhead_ns = assert_disabled_overhead();
+    println!("disabled-instrumentation overhead: {overhead_ns:.3} ns/op");
+
+    let prefill = workloads::uniform_keys_distinct(0x5EED, cfg.num_keys, range.clone());
+
+    let mut results = Vec::new();
+    let mut telemetry = Vec::new();
+    for &clients in &CLIENT_COUNTS {
+        for &(read_pct, mix) in &READ_MIXES {
+            // Per-client seeds derive from one root seed, so both read
+            // paths replay identical traffic.
+            let seed = 0xBEEF ^ (clients as u64) << 16 ^ read_pct as u64;
+            let traces =
+                workloads::client_traces(seed, clients, cfg.ops_per_client, range.clone(), mix);
+            let total_ops = (clients * cfg.ops_per_client) as f64;
+            for (path, snapshot_reads) in [("snapshot", true), ("round", false)] {
+                let runs: Vec<f64> = (0..cfg.reps)
+                    .map(|_| run_combine(&prefill, &traces, snapshot_reads) * 1e9 / total_ops)
+                    .collect();
+                let m = Measurement {
+                    path,
+                    read_pct,
+                    clients,
+                    best_ns_per_op: min_of(&runs),
+                    mean_ns_per_op: mean_of(&runs),
+                };
+                println!(
+                    "{:>9} reads={:>3}% clients={}: best {:8.1} ns/op  mean {:8.1} ns/op",
+                    m.path, m.read_pct, m.clients, m.best_ns_per_op, m.mean_ns_per_op
+                );
+                results.push(m);
+            }
+            let t = run_snapshot_telemetry(&prefill, &traces, read_pct, clients);
+            println!(
+                "  telemetry reads={:>3}% clients={}: {} snapshot reads",
+                t.read_pct, t.clients, t.snapshot_reads
+            );
+            telemetry.push(t);
+        }
+    }
+
+    let json = render_json(&cfg, quick, &results, overhead_ns, &telemetry);
+    std::fs::write("BENCH_read.json", &json).expect("write BENCH_read.json");
+    println!("wrote BENCH_read.json ({} measurements)", results.len());
+}
+
+/// One timed run over `traces` with the chosen read path.  Returns elapsed
+/// seconds.
+fn run_combine(prefill: &[u64], traces: &[ClientTrace], snapshot_reads: bool) -> f64 {
+    let pool = Pool::new(POOL_THREADS).expect("pool");
+    let backing = IstSet::from_unsorted(prefill.to_vec());
+    let set = Arc::new(ConcurrentSet::with_options(
+        backing,
+        pool,
+        Options {
+            snapshot_reads,
+            ..Options::default()
+        },
+    ));
+    pbist_repro::bench_util::drive_clients(traces, |trace, barrier| {
+        let set = Arc::clone(&set);
+        move || {
+            barrier.wait();
+            let start = Instant::now();
+            for (kind, key) in trace {
+                match kind {
+                    OpKind::Insert => set.insert(key),
+                    OpKind::Remove => set.remove(&key),
+                    OpKind::Contains => set.contains(&key),
+                };
+            }
+            (start, Instant::now())
+        }
+    })
+}
+
+/// One untimed instrumented run of the snapshot arm, capturing the
+/// registry snapshot the CI smoke asserts on.
+fn run_snapshot_telemetry(
+    prefill: &[u64],
+    traces: &[ClientTrace],
+    read_pct: u32,
+    clients: usize,
+) -> Telemetry {
+    let pool = Pool::new(POOL_THREADS).expect("pool");
+    let backing = IstSet::from_unsorted(prefill.to_vec());
+    let set = Arc::new(ConcurrentSet::with_options(
+        backing,
+        pool,
+        Options::default(),
+    ));
+    pbist_repro::bench_util::drive_clients(traces, |trace, barrier| {
+        let set = Arc::clone(&set);
+        move || {
+            barrier.wait();
+            let start = Instant::now();
+            for (kind, key) in trace {
+                match kind {
+                    OpKind::Insert => set.insert(key),
+                    OpKind::Remove => set.remove(&key),
+                    OpKind::Contains => set.contains(&key),
+                };
+            }
+            (start, Instant::now())
+        }
+    });
+    let snap = set.metrics();
+    let snapshot_reads = snap.counter("combine.snapshot_reads").unwrap_or(0);
+    assert!(
+        snapshot_reads > 0,
+        "telemetry pass answered no reads from the snapshot"
+    );
+    Telemetry {
+        read_pct,
+        clients,
+        snapshot_reads,
+        combine_json: snap.to_json(),
+    }
+}
+
+fn render_json(
+    cfg: &Config,
+    quick: bool,
+    results: &[Measurement],
+    overhead_ns: f64,
+    telemetry: &[Telemetry],
+) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"read\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"quick\": {quick}, \"num_keys\": {}, \"ops_per_client\": {}, \"reps\": {}, \"read_mixes_pct\": [90, 99, 100], \"pool_threads\": {POOL_THREADS}}},\n",
+        cfg.num_keys, cfg.ops_per_client, cfg.reps
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"path\": \"{}\", \"read_pct\": {}, \"clients\": {}, \"best_ns_per_op\": {:.1}, \"mean_ns_per_op\": {:.1}}}{}\n",
+            m.path,
+            m.read_pct,
+            m.clients,
+            m.best_ns_per_op,
+            m.mean_ns_per_op,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"metrics\": {\n");
+    json.push_str(&format!(
+        "    \"disabled_overhead_ns\": {overhead_ns:.4},\n"
+    ));
+    json.push_str("    \"snapshot_runs\": [\n");
+    for (i, t) in telemetry.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"read_pct\": {}, \"clients\": {}, \"snapshot_reads\": {}, \"combine\": {}}}{}\n",
+            t.read_pct,
+            t.clients,
+            t.snapshot_reads,
+            t.combine_json,
+            if i + 1 < telemetry.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
+    json
+}

@@ -21,10 +21,12 @@
 //! failures replay without bisecting.
 
 use std::collections::{BTreeSet, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread;
 
 use pbist_repro::{
+    baselines::SortedArraySet,
     batchapi::{Batch, BatchedSet},
     combine::{ConcurrentSet, OpKind as CombinedOp, Options},
     forkjoin::Pool,
@@ -49,6 +51,11 @@ fn drive_and_verify(
         Options {
             pool_cutoff,
             log_rounds: true,
+            // This harness checks the *combining* path: every op — contains
+            // included — must appear in the round log, so the wait-free
+            // snapshot read path is pinned off.  The staleness-contract test
+            // below covers the snapshot path.
+            snapshot_reads: false,
             ..Options::default()
         },
     ));
@@ -286,9 +293,292 @@ fn stats_snapshots_never_show_rounds_ahead_of_ops() {
     assert!(st.rounds >= 1 && st.rounds <= st.ops, "quiescent rounds");
 }
 
-/// `len` participates in combining (it flushes pending ops first), so
-/// calling it concurrently with mutating traffic must neither deadlock nor
-/// return out-of-thin-air values.
+/// Staleness-contract replay for the wait-free snapshot read path.
+///
+/// Clients write disjoint key spaces (default options: snapshot reads
+/// *on*, plus the round log for the replay).  Three properties:
+///
+/// 1. **Read-your-writes** — immediately after an acknowledged write, a
+///    snapshot `contains` of the same key reflects it (the combiner
+///    publishes the snapshot *before* acknowledging the round, and no
+///    other client touches the key).
+/// 2. **Monotonicity** — a single client's observed snapshot seqs never
+///    go backwards.
+/// 3. **Exactness at the observed seq** — replaying the round log, every
+///    recorded read `(key, result, seq)` must equal the oracle state
+///    after exactly the rounds with seq `<= seq` — i.e. the snapshot *is*
+///    some round's state, between the client's last write and the read.
+#[test]
+fn snapshot_reads_satisfy_the_staleness_contract() {
+    let pool = Pool::new(2).unwrap();
+    let set = Arc::new(ConcurrentSet::with_options(
+        IstSet::from_unsorted(Vec::new()),
+        pool,
+        Options {
+            log_rounds: true,
+            ..Options::default()
+        },
+    ));
+    let clients = 4u64;
+    let per_client = 400u64;
+    let span = 97u64;
+
+    // Each client records its snapshot reads as (key, result, seq).
+    let reads: Vec<Vec<(u64, bool, u64)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let set = Arc::clone(&set);
+                s.spawn(move || {
+                    let mut recorded = Vec::new();
+                    let mut last_seq = 0u64;
+                    for i in 0..per_client {
+                        let key = c * 1_000_000 + (i % span);
+                        let insert = i % 3 != 2;
+                        if insert {
+                            set.insert(key);
+                        } else {
+                            set.remove(&key);
+                        }
+                        // Property 1: read-your-writes.
+                        assert_eq!(
+                            set.contains(&key),
+                            insert,
+                            "client {c} step {i}: read of own write went stale"
+                        );
+                        // Properties 2 + 3: record a probe from one
+                        // snapshot, pairing result and seq exactly.
+                        let snap = set.read_snapshot();
+                        assert!(
+                            snap.seq() >= last_seq,
+                            "client {c} step {i}: snapshot seq went backwards \
+                             ({last_seq} -> {})",
+                            snap.seq()
+                        );
+                        last_seq = snap.seq();
+                        let probe = c * 1_000_000 + ((i * 31) % span);
+                        recorded.push((probe, snap.view().contains(&probe), snap.seq()));
+                    }
+                    recorded
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Reads bypassed the combiner entirely: the round log holds writes
+    // only, and the op counter agrees.
+    let rounds = set.take_rounds();
+    assert!(
+        rounds
+            .iter()
+            .flat_map(|r| r.ops.iter())
+            .all(|op| !matches!(op.kind, CombinedOp::Contains)),
+        "snapshot reads must never enter a round"
+    );
+    assert_eq!(
+        set.stats().ops,
+        clients * per_client,
+        "only the writes may be combined"
+    );
+    assert!(
+        set.metrics().counter("combine.snapshot_reads").unwrap_or(0) >= clients * per_client * 2,
+        "every contains and read_snapshot must count as a snapshot read"
+    );
+
+    // Property 3: replay the log; a read observed at seq s is checked
+    // against the oracle once every round with seq <= s has applied.
+    let mut events: Vec<(u64, u64, bool)> = reads
+        .iter()
+        .flatten()
+        .map(|&(key, result, seq)| (seq, key, result))
+        .collect();
+    events.sort_by_key(|&(seq, _, _)| seq);
+    let mut oracle: BTreeSet<u64> = BTreeSet::new();
+    let mut next = 0usize;
+    for round in &rounds {
+        while next < events.len() && events[next].0 < round.seq {
+            let (seq, key, result) = events[next];
+            assert_eq!(
+                result,
+                oracle.contains(&key),
+                "read of key {key} at snapshot seq {seq} does not match the round state"
+            );
+            next += 1;
+        }
+        for op in &round.ops {
+            match op.kind {
+                CombinedOp::Insert => {
+                    oracle.insert(op.key);
+                }
+                CombinedOp::Remove => {
+                    oracle.remove(&op.key);
+                }
+                CombinedOp::Contains => {}
+            }
+        }
+    }
+    while next < events.len() {
+        let (seq, key, result) = events[next];
+        assert_eq!(
+            result,
+            oracle.contains(&key),
+            "read of key {key} at snapshot seq {seq} does not match the final state"
+        );
+        next += 1;
+    }
+}
+
+/// A backend that panics when asked to insert `u64::MAX` — used to race
+/// `snapshot_keys` against a poisoning combiner.
+struct BombSet {
+    inner: SortedArraySet<u64>,
+}
+
+impl BatchedSet<u64> for BombSet {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn contains(&self, key: &u64) -> bool {
+        BatchedSet::contains(&self.inner, key)
+    }
+    fn rank(&self, key: &u64) -> usize {
+        BatchedSet::rank(&self.inner, key)
+    }
+    fn min(&self) -> Option<&u64> {
+        BatchedSet::min(&self.inner)
+    }
+    fn max(&self) -> Option<&u64> {
+        BatchedSet::max(&self.inner)
+    }
+    fn batch_contains(&self, batch: &Batch<u64>) -> Vec<bool> {
+        self.inner.batch_contains(batch)
+    }
+    fn batch_insert(&mut self, batch: &Batch<u64>) -> Vec<bool> {
+        assert!(
+            !batch.as_slice().contains(&u64::MAX),
+            "BombSet: backend blew up mid-round"
+        );
+        self.inner.batch_insert(batch)
+    }
+    fn batch_remove(&mut self, batch: &Batch<u64>) -> Vec<bool> {
+        self.inner.batch_remove(batch)
+    }
+    fn collect_keys(&self) -> Vec<u64> {
+        self.inner.collect_keys()
+    }
+}
+
+/// `snapshot_keys` racing a poisoning combiner: every successful
+/// `(keys, seq)` pair must equal the round-log oracle at exactly that
+/// seq — a half-applied (panicked) round's view must be structurally
+/// unreachable — and once the poison lands, `snapshot_keys` fails fast
+/// with the poison error while `read_snapshot` (supervisor-grade) still
+/// answers with the last good snapshot.
+#[test]
+fn snapshot_keys_never_observes_a_half_applied_round() {
+    let set = Arc::new(ConcurrentSet::with_options(
+        BombSet {
+            inner: SortedArraySet::from_unsorted(Vec::new()),
+        },
+        Pool::new(1).unwrap(),
+        Options {
+            log_rounds: true,
+            ..Options::default()
+        },
+    ));
+
+    let observed: Vec<Vec<(Vec<u64>, u64)>> = thread::scope(|s| {
+        let observers: Vec<_> = (0..2)
+            .map(|_| {
+                let set = Arc::clone(&set);
+                s.spawn(move || {
+                    let mut pairs = Vec::new();
+                    // Snapshot until the poison lands; the Err arm is the
+                    // test finishing, so an observer can never hang.
+                    loop {
+                        match catch_unwind(AssertUnwindSafe(|| set.snapshot_keys())) {
+                            Ok(pair) => pairs.push(pair),
+                            Err(_) => return pairs,
+                        }
+                        thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+        let bomber = {
+            let set = Arc::clone(&set);
+            s.spawn(move || {
+                for i in 0..512u64 {
+                    set.insert(i);
+                }
+                catch_unwind(AssertUnwindSafe(|| set.insert(u64::MAX))).is_err()
+            })
+        };
+        assert!(bomber.join().unwrap(), "the bomb insert must panic");
+        observers.into_iter().map(|o| o.join().unwrap()).collect()
+    });
+    assert!(set.is_poisoned(), "the combiner must be poisoned");
+
+    // Replay the committed rounds (the panicked round never logged, never
+    // published) and pin every observed pair to its seq's exact state.
+    let rounds = set.take_rounds();
+    let mut states: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut oracle: BTreeSet<u64> = BTreeSet::new();
+    states.insert(0, Vec::new());
+    for round in &rounds {
+        for op in &round.ops {
+            match op.kind {
+                CombinedOp::Insert => {
+                    oracle.insert(op.key);
+                }
+                CombinedOp::Remove => {
+                    oracle.remove(&op.key);
+                }
+                CombinedOp::Contains => {}
+            }
+        }
+        states.insert(round.seq, oracle.iter().copied().collect());
+    }
+    let total: usize = observed.iter().map(Vec::len).sum();
+    assert!(total > 0, "observers must have snapshotted at least once");
+    for pairs in &observed {
+        for (keys, seq) in pairs {
+            let expect = states
+                .get(seq)
+                .unwrap_or_else(|| panic!("snapshot seq {seq} is not a committed round"));
+            assert_eq!(
+                keys, expect,
+                "snapshot at seq {seq} does not match that round's state"
+            );
+        }
+    }
+
+    // Fail-fast contract after the poison: snapshot_keys refuses...
+    let err = catch_unwind(AssertUnwindSafe(|| set.snapshot_keys())).unwrap_err();
+    let msg = err
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| err.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(
+        msg.contains("poisoned"),
+        "snapshot_keys after poison must fail fast, got: {msg:?}"
+    );
+    // ...while the supervisor-grade accessor still serves the last good
+    // snapshot (it predates the poisoned round by construction).
+    let snap = set.read_snapshot();
+    assert_eq!(
+        &snap.view().collect_keys(),
+        states.get(&snap.seq()).expect("last good snapshot seq"),
+        "read_snapshot after poison must still be a committed round's state"
+    );
+}
+
+/// `len` reads the published snapshot under the default options, so calling
+/// it concurrently with mutating traffic must neither deadlock nor return
+/// out-of-thin-air values — and because snapshots are published in round
+/// order, a single reader must see monotonically non-decreasing lengths
+/// while the set only grows.
 #[test]
 fn concurrent_len_reads_stay_bounded() {
     let pool = Pool::new(2).unwrap();

@@ -90,6 +90,11 @@ fn drive_and_verify_sharded<R>(
                 Options {
                     pool_cutoff,
                     log_rounds: true,
+                    // The replay checks demand every op — contains included —
+                    // in the shard logs, so the wait-free snapshot read path
+                    // is pinned off.  The staleness-contract test below
+                    // covers the snapshot path.
+                    snapshot_reads: false,
                     ..Options::default()
                 },
             )
@@ -527,6 +532,154 @@ fn backend_panic_in_one_shard_poisons_tier_without_hanging() {
         set.metrics().counter("service.poisoned").unwrap_or(0) >= 1,
         "tier must count the observed poisoning"
     );
+}
+
+/// Regression: a shard poisoned *before* the tier ever observes a panic
+/// through its own guards (here: poisoned before the tier is even built)
+/// used to kill read entry points with the shard's own poison message
+/// while `is_poisoned()` already reported the tier state.  Every read
+/// entry point must fail fast with the *tier-level* poison error — and
+/// the failed read promotes the shard poison into the tier flag.
+#[test]
+fn reads_fail_fast_with_the_tier_poison_when_a_shard_is_pre_poisoned() {
+    // Detonate a lone shard first, outside any tier guard.
+    let bombed = ConcurrentSet::new(BombSet::new(), Pool::new(1).unwrap());
+    assert!(
+        catch_unwind(AssertUnwindSafe(|| bombed.insert(u64::MAX))).is_err(),
+        "the bomb insert must panic"
+    );
+    assert!(bombed.is_poisoned(), "shard must be poisoned");
+
+    let mut shards: Vec<_> = (0..3)
+        .map(|_| ConcurrentSet::new(BombSet::new(), Pool::new(1).unwrap()))
+        .collect();
+    shards.push(bombed);
+    let set = ShardedSet::with_options(
+        RangeRouter::new(4, 0, 8_000),
+        shards,
+        Pool::new(2).unwrap(),
+        ShardedOptions { parallel_cutoff: 0 },
+    );
+    assert!(
+        set.is_poisoned(),
+        "the health probe must see the shard poison"
+    );
+
+    let healthy_batch = Batch::from_unsorted(vec![10u64, 2_100, 4_100]);
+    type Read<'a> = Box<dyn Fn() + 'a>;
+    let reads: Vec<(&str, Read<'_>)> = vec![
+        (
+            "contains",
+            Box::new(|| {
+                set.contains(&5);
+            }),
+        ),
+        (
+            "len",
+            Box::new(|| {
+                set.len();
+            }),
+        ),
+        (
+            "is_empty",
+            Box::new(|| {
+                set.is_empty();
+            }),
+        ),
+        (
+            "batch_contains",
+            Box::new(|| {
+                set.batch_contains(&healthy_batch);
+            }),
+        ),
+    ];
+    for (name, read) in reads {
+        let err = catch_unwind(AssertUnwindSafe(read))
+            .err()
+            .unwrap_or_else(|| panic!("{name} must fail fast on a pre-poisoned shard"));
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.starts_with("ShardedSet is poisoned"),
+            "{name} must raise the tier-level poison error, got: {msg:?}"
+        );
+    }
+    assert!(
+        set.metrics().counter("service.poisoned").unwrap_or(0) >= 1,
+        "the failed reads must promote the shard poison to tier level"
+    );
+}
+
+/// Staleness contract at the tier: clients write disjoint key spaces, and
+/// every wait-free read — the point path and the all-read batched path —
+/// must observe the client's own acknowledged writes (the shard snapshot
+/// is published before the write is acknowledged, so a client can never
+/// read past its own last write going *backwards*).
+#[test]
+fn tier_snapshot_reads_observe_the_clients_own_writes() {
+    let set = Arc::new(ShardedSet::with_options(
+        RangeRouter::new(4, 0, 4_000_000),
+        (0..4)
+            .map(|_| ConcurrentSet::new(IstSet::from_unsorted(Vec::new()), Pool::new(1).unwrap()))
+            .collect(),
+        Pool::new(2).unwrap(),
+        ShardedOptions {
+            parallel_cutoff: 64,
+        },
+    ));
+    let span = 89u64; // keys per client space, so writes revisit keys
+    thread::scope(|s| {
+        for c in 0..4u64 {
+            let set = Arc::clone(&set);
+            s.spawn(move || {
+                let mut mine = BTreeSet::new();
+                for i in 0..400u64 {
+                    let key = c * 1_000_000 + (i % span);
+                    let insert = i % 3 != 2;
+                    if insert {
+                        set.insert(key);
+                        mine.insert(key);
+                    } else {
+                        set.remove(&key);
+                        mine.remove(&key);
+                    }
+                    // Read-your-writes through the tier point path: nobody
+                    // else touches this key, so the snapshot the read lands
+                    // on must already hold this client's write.
+                    assert_eq!(
+                        set.contains(&key),
+                        insert,
+                        "client {c} step {i}: read of own write went stale"
+                    );
+                    if i % 16 == 7 {
+                        // The all-read batched path (bypasses the tier
+                        // pool): membership of the client's whole space
+                        // must match its local oracle exactly.
+                        let space =
+                            Batch::from_unsorted((0..span).map(|r| c * 1_000_000 + r).collect());
+                        let flags = set.batch_contains(&space);
+                        for (k, &flag) in space.as_slice().iter().zip(&flags) {
+                            assert_eq!(
+                                flag,
+                                mine.contains(k),
+                                "client {c} step {i}: batched read of key {k} diverged"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+    // The reads really took the snapshot path on every shard.
+    for (shard, metrics) in set.shard_metrics().iter().enumerate() {
+        assert!(
+            metrics.counter("combine.snapshot_reads").unwrap_or(0) > 0,
+            "shard {shard} answered no reads from its snapshot"
+        );
+    }
 }
 
 /// A tier-level batch containing the bomb key panics the issuing client
