@@ -12,9 +12,10 @@
 #![warn(missing_docs)]
 
 use std::fmt::Debug;
+use std::ops::Bound;
 use std::sync::Arc;
 
-use batchapi::{Batch, BatchedSet, SetView, SortedVecView};
+use batchapi::{Batch, BatchedMap, BatchedSet, KvBatch, SetView, SortedVecView};
 
 /// Batches at or below this length take the sequential in-place path in the
 /// `_report` variants; longer ones reuse the allocating parallel fan-out.
@@ -153,6 +154,25 @@ impl<K: Ord + Clone + Send + Sync> BatchedSet<K> for SortedArraySet<K> {
         Arc::new(SortedVecView::from_arc(Arc::clone(&self.keys)))
     }
 
+    fn publish_clone_keys(&self) -> usize {
+        0 // publish_root shares the array, never copies it
+    }
+
+    fn range_keys(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K> {
+        let (start, end) = batchapi::bounds_to_rank_interval(
+            self.keys.len(),
+            lo,
+            hi,
+            |k| self.rank(k),
+            |k| self.contains(k),
+        );
+        self.keys[start..end].to_vec()
+    }
+
+    fn kth(&self, k: usize) -> Option<K> {
+        self.keys.get(k).cloned()
+    }
+
     // Report variants: small batches (where per-batch allocation overhead
     // actually shows — the flat-combining round loop) fill the reused buffer
     // with a sequential scan; large batches keep the parallel fan-out and
@@ -215,6 +235,178 @@ impl<K: Ord + Clone + Send + Sync> BatchedSet<K> for SortedArraySet<K> {
             }
             Err(_) => false,
         }
+    }
+}
+
+/// A key→value map stored as two index-parallel sorted arrays — the flat
+/// baseline for [`batchapi::BatchedMap`], mirroring [`SortedArraySet`].
+///
+/// Point lookups are binary searches; batched upserts and removals rewrite
+/// both arrays with one sequential merge/filter pass (`O(n + b)` — the flat
+/// layout's price, which `pbist::IstMap` is built to beat).  Both arrays sit
+/// behind `Arc`s so clones snapshot in `O(1)` and later updates unshare.
+#[derive(Debug, Clone, Default)]
+pub struct SortedArrayMap<K: Ord, V> {
+    keys: Arc<Vec<K>>,
+    vals: Arc<Vec<V>>,
+}
+
+impl<K: Ord, V> SortedArrayMap<K, V> {
+    /// Builds a map from arbitrary entries; sorts by key and collapses
+    /// duplicates last-wins (the [`KvBatch`] policy).
+    pub fn from_unsorted_entries(entries: Vec<(K, V)>) -> SortedArrayMap<K, V> {
+        let (keys, vals) = KvBatch::from_unsorted(entries).into_parts();
+        SortedArrayMap {
+            keys: Arc::new(keys),
+            vals: Arc::new(vals),
+        }
+    }
+
+    /// Builds a map from entries whose keys are already strictly increasing
+    /// (checked with a `debug_assert!`).
+    pub fn from_sorted_entries(entries: Vec<(K, V)>) -> SortedArrayMap<K, V> {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "keys must be strictly increasing"
+        );
+        let (keys, vals): (Vec<K>, Vec<V>) = entries.into_iter().unzip();
+        SortedArrayMap {
+            keys: Arc::new(keys),
+            vals: Arc::new(vals),
+        }
+    }
+
+    /// The underlying sorted keys.
+    pub fn keys(&self) -> &[K] {
+        &self.keys
+    }
+}
+
+impl<K: Ord + Clone + Send + Sync, V: Clone + Send + Sync> BatchedMap<K, V>
+    for SortedArrayMap<K, V>
+{
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        self.keys
+            .binary_search(key)
+            .ok()
+            .map(|pos| self.vals[pos].clone())
+    }
+
+    fn contains_key(&self, key: &K) -> bool {
+        self.keys.binary_search(key).is_ok()
+    }
+
+    fn rank(&self, key: &K) -> usize {
+        self.keys.partition_point(|k| k < key)
+    }
+
+    fn batch_get(&self, batch: &Batch<K>) -> Vec<Option<V>> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        parprim::map(batch.as_slice(), |q| self.get(q))
+    }
+
+    fn batch_insert_kv(&mut self, batch: &KvBatch<K, V>) -> Vec<bool> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        // One merge pass rewrites both arrays and computes the flags: a
+        // batch key matching an existing one keeps the slot and takes the
+        // batch's value (last-wins upsert).
+        let old_keys = &self.keys;
+        let old_vals = &self.vals;
+        let mut keys = Vec::with_capacity(old_keys.len() + batch.len());
+        let mut vals = Vec::with_capacity(old_keys.len() + batch.len());
+        let mut flags = Vec::with_capacity(batch.len());
+        let mut i = 0;
+        for (q, v) in batch.iter() {
+            while i < old_keys.len() && old_keys[i] < *q {
+                keys.push(old_keys[i].clone());
+                vals.push(old_vals[i].clone());
+                i += 1;
+            }
+            if i < old_keys.len() && old_keys[i] == *q {
+                keys.push(old_keys[i].clone());
+                vals.push(v.clone());
+                i += 1;
+                flags.push(false);
+            } else {
+                keys.push(q.clone());
+                vals.push(v.clone());
+                flags.push(true);
+            }
+        }
+        keys.extend_from_slice(&old_keys[i..]);
+        vals.extend_from_slice(&old_vals[i..]);
+        self.keys = Arc::new(keys);
+        self.vals = Arc::new(vals);
+        flags
+    }
+
+    fn batch_remove(&mut self, batch: &Batch<K>) -> Vec<bool> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let removed: Vec<bool> = batch
+            .iter()
+            .map(|q| self.keys.binary_search(q).is_ok())
+            .collect();
+        let old_keys = &self.keys;
+        let old_vals = &self.vals;
+        let mut keys = Vec::with_capacity(old_keys.len());
+        let mut vals = Vec::with_capacity(old_keys.len());
+        for (k, v) in old_keys.iter().zip(old_vals.iter()) {
+            if batch.binary_search(k).is_err() {
+                keys.push(k.clone());
+                vals.push(v.clone());
+            }
+        }
+        self.keys = Arc::new(keys);
+        self.vals = Arc::new(vals);
+        removed
+    }
+
+    fn collect_entries(&self) -> Vec<(K, V)> {
+        self.keys
+            .iter()
+            .cloned()
+            .zip(self.vals.iter().cloned())
+            .collect()
+    }
+
+    fn range_entries(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V)> {
+        let (start, end) = batchapi::bounds_to_rank_interval(
+            self.keys.len(),
+            lo,
+            hi,
+            |k| self.rank(k),
+            |k| self.contains_key(k),
+        );
+        self.keys[start..end]
+            .iter()
+            .cloned()
+            .zip(self.vals[start..end].iter().cloned())
+            .collect()
+    }
+
+    fn range_keys(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K> {
+        let (start, end) = batchapi::bounds_to_rank_interval(
+            self.keys.len(),
+            lo,
+            hi,
+            |k| self.rank(k),
+            |k| self.contains_key(k),
+        );
+        self.keys[start..end].to_vec()
+    }
+
+    fn kth(&self, k: usize) -> Option<(K, V)> {
+        Some((self.keys.get(k)?.clone(), self.vals[k].clone()))
     }
 }
 
@@ -357,5 +549,82 @@ mod tests {
         // Exactly the multiples of 3 outside the batch's range remain.
         assert!(set.as_slice().iter().all(|k| *k >= 20_000));
         assert_eq!(set.len(), 10_000 - 6_667);
+    }
+
+    #[test]
+    fn set_range_overrides_match_defaults() {
+        let set = SortedArraySet::from_sorted((0..1_000u64).map(|i| i * 2).collect());
+        assert_eq!(BatchedSet::publish_clone_keys(&set), 0);
+        assert_eq!(
+            set.range_keys(Bound::Included(&10), Bound::Excluded(&20)),
+            vec![10, 12, 14, 16, 18]
+        );
+        assert_eq!(
+            set.range_count(Bound::Excluded(&10), Bound::Included(&20)),
+            5
+        );
+        assert_eq!(set.kth(0), Some(0));
+        assert_eq!(set.kth(999), Some(1_998));
+        assert_eq!(set.kth(1_000), None);
+        assert_eq!(set.predecessor(&0), None);
+        assert_eq!(set.successor(&1_998), None);
+        assert_eq!(set.predecessor(&11), Some(10));
+        assert_eq!(set.successor(&11), Some(12));
+    }
+
+    #[test]
+    fn map_upserts_last_wins_and_answers_lookups() {
+        let mut map =
+            SortedArrayMap::from_unsorted_entries(vec![(3u64, "c"), (1, "a"), (3, "C"), (2, "b")]);
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.get(&3), Some("C"), "construction is last-wins");
+        let flags = map.batch_insert_kv(&KvBatch::from_unsorted(vec![(2, "B"), (4, "d")]));
+        assert_eq!(flags, vec![false, true]);
+        assert_eq!(map.get(&2), Some("B"), "upsert overwrote");
+        assert_eq!(map.get(&4), Some("d"));
+        let gone = map.batch_remove(&Batch::from_unsorted(vec![1u64, 9]));
+        assert_eq!(gone, vec![true, false]);
+        assert_eq!(map.collect_entries(), vec![(2, "B"), (3, "C"), (4, "d")]);
+        assert_eq!(
+            map.batch_get(&Batch::from_unsorted(vec![2u64, 5])),
+            vec![Some("B"), None]
+        );
+        assert_eq!(map.rank(&3), 1);
+        assert!(map.contains_key(&3) && !map.contains_key(&5));
+    }
+
+    #[test]
+    fn map_range_and_selection_match_btreemap() {
+        use std::collections::BTreeMap;
+        let entries: Vec<(u64, u64)> = (0..2_000u64).map(|i| (i * 3, i)).collect();
+        let oracle: BTreeMap<u64, u64> = entries.iter().copied().collect();
+        let map = SortedArrayMap::from_sorted_entries(entries);
+        for (lo, hi) in [
+            (Bound::Unbounded, Bound::Unbounded),
+            (Bound::Included(&300), Bound::Excluded(&600)),
+            (Bound::Excluded(&299), Bound::Included(&601)),
+            (Bound::Included(&301), Bound::Excluded(&302)), // off-key, empty
+        ] {
+            let expected: Vec<(u64, u64)> = oracle
+                .range((lo.cloned(), hi.cloned()))
+                .map(|(k, v)| (*k, *v))
+                .collect();
+            assert_eq!(map.range_entries(lo, hi), expected, "{lo:?}..{hi:?}");
+            assert_eq!(map.range_count(lo, hi), expected.len());
+        }
+        assert_eq!(map.kth(0), Some((0, 0)));
+        assert_eq!(map.kth(1_999), Some((5_997, 1_999)));
+        assert_eq!(map.kth(2_000), None);
+        assert_eq!(map.predecessor(&1), Some(0));
+        assert_eq!(map.successor(&5_997), None);
+    }
+
+    #[test]
+    fn map_clone_is_a_snapshot() {
+        let mut map = SortedArrayMap::from_sorted_entries((0..100u64).map(|i| (i, i)).collect());
+        let frozen = map.clone();
+        map.batch_insert_kv(&KvBatch::from_unsorted(vec![(7u64, 700u64)]));
+        assert_eq!(map.get(&7), Some(700));
+        assert_eq!(frozen.get(&7), Some(7), "clone saw a later upsert");
     }
 }

@@ -29,7 +29,7 @@
 #![warn(missing_docs)]
 
 use std::fmt;
-use std::ops::Deref;
+use std::ops::{Bound, Deref};
 use std::sync::Arc;
 
 /// A sorted, strictly-increasing (hence deduplicated) batch of keys.
@@ -226,6 +226,163 @@ impl<K> Deref for Batch<K> {
     fn deref(&self) -> &[K] {
         &self.keys
     }
+}
+
+/// A sorted batch of key/value pairs with strictly-increasing keys — the
+/// map-flavoured counterpart of [`Batch`].
+///
+/// Keys and values live in two parallel arrays so the key run can be
+/// partitioned with the exact same binary searches a [`Batch`] is (the
+/// offsets carve both arrays).
+///
+/// # Duplicate policy: last wins
+///
+/// [`KvBatch::from_unsorted`] resolves duplicate keys by keeping the **last**
+/// occurrence's value, mirroring the sequential semantics of applying the
+/// pairs one `insert(k, v)` at a time in input order.  The sort is stable,
+/// so "last occurrence" means last in the input vector.
+///
+/// ```
+/// use batchapi::KvBatch;
+///
+/// let batch = KvBatch::from_unsorted(vec![(5u64, 'a'), (1, 'b'), (5, 'c')]);
+/// assert_eq!(batch.keys(), &[1, 5]);
+/// assert_eq!(batch.vals(), &['b', 'c'], "last write to key 5 wins");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct KvBatch<K, V> {
+    keys: Vec<K>,
+    vals: Vec<V>,
+}
+
+impl<K: Ord, V> KvBatch<K, V> {
+    /// Builds a batch from arbitrary pairs: stable-sorts by key and
+    /// deduplicates with the documented last-wins policy.
+    pub fn from_unsorted(pairs: Vec<(K, V)>) -> KvBatch<K, V> {
+        let mut pairs = pairs;
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        // `dedup_by` visits (later, earlier-kept) pairs; moving the later
+        // value into the kept slot before discarding implements last-wins.
+        pairs.dedup_by(|later, kept| {
+            if later.0 == kept.0 {
+                std::mem::swap(&mut later.1, &mut kept.1);
+                true
+            } else {
+                false
+            }
+        });
+        let mut keys = Vec::with_capacity(pairs.len());
+        let mut vals = Vec::with_capacity(pairs.len());
+        for (k, v) in pairs {
+            keys.push(k);
+            vals.push(v);
+        }
+        KvBatch { keys, vals }
+    }
+
+    /// Wraps pairs claimed to be sorted with strictly-increasing keys, after
+    /// verifying the claim with one linear scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError::Duplicate`] / [`BatchError::OutOfOrder`] at the
+    /// first offending adjacent key pair (same contract as
+    /// [`Batch::from_sorted`]).
+    pub fn from_sorted(pairs: Vec<(K, V)>) -> Result<KvBatch<K, V>, BatchError> {
+        if let Some(index) = pairs.windows(2).position(|w| w[0].0 >= w[1].0) {
+            return Err(if pairs[index].0 == pairs[index + 1].0 {
+                BatchError::Duplicate { index }
+            } else {
+                BatchError::OutOfOrder { index }
+            });
+        }
+        let mut keys = Vec::with_capacity(pairs.len());
+        let mut vals = Vec::with_capacity(pairs.len());
+        for (k, v) in pairs {
+            keys.push(k);
+            vals.push(v);
+        }
+        Ok(KvBatch { keys, vals })
+    }
+
+    /// The empty batch.
+    pub fn empty() -> KvBatch<K, V> {
+        KvBatch {
+            keys: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// The keys, strictly increasing.
+    pub fn keys(&self) -> &[K] {
+        &self.keys
+    }
+
+    /// The values, parallel to [`KvBatch::keys`].
+    pub fn vals(&self) -> &[V] {
+        &self.vals
+    }
+
+    /// Number of (distinct) keys in the batch.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Returns `true` when the batch holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterates the pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.keys.iter().zip(self.vals.iter())
+    }
+
+    /// Consumes the batch, returning the parallel key and value vectors.
+    pub fn into_parts(self) -> (Vec<K>, Vec<V>) {
+        (self.keys, self.vals)
+    }
+
+    /// A [`Batch`] borrowing view of just the keys is not possible without
+    /// a copy; this clones the key run into one (still sorted, so no
+    /// re-validation happens).
+    pub fn key_batch(&self) -> Batch<K>
+    where
+        K: Clone,
+    {
+        Batch {
+            keys: self.keys.clone(),
+        }
+    }
+}
+
+/// Converts an ordered-query bound pair into the half-open rank interval
+/// `[start, end)` it selects: `start` is the rank of the first key inside
+/// the range, `end` the rank one past the last.  `end` is clamped to
+/// `start`, so inverted bounds (`lo > hi`) select the empty interval rather
+/// than panicking.
+///
+/// Because a set's `rank` is exactly a key's index in the sorted contents,
+/// the interval doubles as the index range into any sorted materialisation
+/// of the set — which is how the default `range_keys` implementations slice.
+pub fn bounds_to_rank_interval<K>(
+    len: usize,
+    lo: Bound<&K>,
+    hi: Bound<&K>,
+    rank: impl Fn(&K) -> usize,
+    contains: impl Fn(&K) -> bool,
+) -> (usize, usize) {
+    let start = match lo {
+        Bound::Unbounded => 0,
+        Bound::Included(k) => rank(k),
+        Bound::Excluded(k) => rank(k) + contains(k) as usize,
+    };
+    let end = match hi {
+        Bound::Unbounded => len,
+        Bound::Included(k) => rank(k) + contains(k) as usize,
+        Bound::Excluded(k) => rank(k),
+    };
+    (start, end.max(start))
 }
 
 /// A key type with a fixed-width, order-preserving byte encoding.
@@ -429,16 +586,238 @@ pub trait BatchedSet<K: Ord> {
     /// out their current root; the default clones the full contents into a
     /// [`SortedVecView`], which is correct for any backend but `O(n)` per
     /// publication.
+    ///
+    /// **Override requirement**: a combining front-end calls this after
+    /// *every mutating round*, so the default turns each round into a full
+    /// scan — fine for toy backends and tests, a performance bug in
+    /// production.  Any backend meant to sit behind `combine` should
+    /// override `publish_root` with a structural share **and** override
+    /// [`BatchedSet::publish_clone_keys`] to return `0` so the front-end's
+    /// `combine.publish_clone_keys` counter stays silent.
     fn publish_root(&self) -> Arc<dyn SetView<K>>
     where
         K: Clone + Send + Sync + 'static,
     {
         Arc::new(SortedVecView::new(self.collect_keys()))
     }
+
+    /// Number of keys [`BatchedSet::publish_root`] copies to build its view
+    /// — the per-publication cost a combining front-end pays after every
+    /// mutating round.  The default (`len()`) matches the default
+    /// `publish_root`, which clones the full contents; backends that
+    /// publish by structural sharing must override this to return `0`.
+    /// The flat-combining front-end feeds this into its
+    /// `combine.publish_clone_keys` counter, so an accidental O(n)-per-round
+    /// publication is visible in telemetry rather than silently tanking
+    /// write throughput.
+    fn publish_clone_keys(&self) -> usize {
+        self.len()
+    }
+
+    /// Keys inside the `(lo, hi)` bound pair, in ascending order.
+    ///
+    /// The default materialises the full contents and slices it — `O(n)`
+    /// but correct for any backend; ordered backends override with a
+    /// structure-aware carve (`pbist` descends once and concatenates whole
+    /// subtrees between the two boundary leaves).
+    fn range_keys(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K>
+    where
+        K: Clone,
+    {
+        let (start, end) =
+            bounds_to_rank_interval(self.len(), lo, hi, |k| self.rank(k), |k| self.contains(k));
+        let mut keys = self.collect_keys();
+        keys.truncate(end);
+        keys.drain(..start);
+        keys
+    }
+
+    /// Number of keys inside the `(lo, hi)` bound pair — two rank queries,
+    /// no materialisation.
+    fn range_count(&self, lo: Bound<&K>, hi: Bound<&K>) -> usize {
+        let (start, end) =
+            bounds_to_rank_interval(self.len(), lo, hi, |k| self.rank(k), |k| self.contains(k));
+        end - start
+    }
+
+    /// The `k`-th smallest key (0-indexed), or `None` when `k >= len()`.
+    /// Also known as `select` — the inverse of [`BatchedSet::rank`].
+    ///
+    /// The default materialises the contents (`O(n)`); ordered backends
+    /// override with an indexed descent.
+    fn kth(&self, k: usize) -> Option<K>
+    where
+        K: Clone,
+    {
+        if k >= self.len() {
+            return None;
+        }
+        self.collect_keys().into_iter().nth(k)
+    }
+
+    /// The largest key strictly smaller than `key`, or `None` when no key
+    /// precedes it.  Derived from [`BatchedSet::rank`] + [`BatchedSet::kth`].
+    fn predecessor(&self, key: &K) -> Option<K>
+    where
+        K: Clone,
+    {
+        match self.rank(key) {
+            0 => None,
+            r => self.kth(r - 1),
+        }
+    }
+
+    /// The smallest key strictly greater than `key`, or `None` when no key
+    /// follows it.  Derived from [`BatchedSet::rank`] + [`BatchedSet::kth`].
+    fn successor(&self, key: &K) -> Option<K>
+    where
+        K: Clone,
+    {
+        self.kth(self.rank(key) + self.contains(key) as usize)
+    }
 }
 
-/// An immutable, shareable read-only view of a set at one linearisation
-/// point.
+/// An ordered key→value map driven by sorted operation batches — the
+/// store-flavoured sibling of [`BatchedSet`].
+///
+/// Same computational model: mutations arrive as sorted, deduplicated
+/// batches ([`KvBatch`] for inserts, [`Batch`] for removals) and answer
+/// **per batch element, in batch order**.  Backends are expected to share
+/// machinery with their set implementation (`pbist`'s leaves carry a value
+/// array parallel to the key run; the sorted-array baseline keeps a second
+/// parallel vector).
+///
+/// # Duplicate / upsert policy
+///
+/// [`BatchedMap::batch_insert_kv`] is an **upsert with last-wins
+/// semantics**: a key already present keeps its slot but takes the batch's
+/// value (the flag reports `false` = not newly inserted), and duplicate
+/// keys *within* one input are resolved at [`KvBatch`] construction by
+/// keeping the last occurrence.  The net effect equals applying the raw
+/// input pairs one `insert(k, v)` at a time in input order.
+pub trait BatchedMap<K: Ord, V> {
+    /// Number of keys in the map.
+    fn len(&self) -> usize;
+
+    /// Returns `true` when the map holds no keys.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value stored under `key`, or `None` when absent.
+    fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone;
+
+    /// Number of keys strictly smaller than `key`.
+    fn rank(&self, key: &K) -> usize;
+
+    /// One lookup per batch element: `result[i]` is `batch[i]`'s value, or
+    /// `None` when absent.
+    fn batch_get(&self, batch: &Batch<K>) -> Vec<Option<V>>
+    where
+        V: Clone;
+
+    /// Upserts every pair (see the trait-level duplicate policy):
+    /// `result[i]` is `true` iff key `i` was **newly** inserted; `false`
+    /// means it was present and its value has been overwritten.
+    fn batch_insert_kv(&mut self, batch: &KvBatch<K, V>) -> Vec<bool>;
+
+    /// Removes every batch key: `result[i]` is `true` iff `batch[i]` was
+    /// present (and its pair has now been removed).
+    fn batch_remove(&mut self, batch: &Batch<K>) -> Vec<bool>;
+
+    /// Clones every pair out of the map in ascending key order — the
+    /// durability tier's snapshot source, mirroring
+    /// [`BatchedSet::collect_keys`].
+    fn collect_entries(&self) -> Vec<(K, V)>
+    where
+        K: Clone,
+        V: Clone;
+
+    /// Pairs whose keys fall inside the `(lo, hi)` bound pair, ascending.
+    /// Default materialises and slices (`O(n)`); ordered backends override.
+    fn range_entries(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V)>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        let (start, end) = bounds_to_rank_interval(
+            self.len(),
+            lo,
+            hi,
+            |k| self.rank(k),
+            |k| self.contains_key(k),
+        );
+        let mut entries = self.collect_entries();
+        entries.truncate(end);
+        entries.drain(..start);
+        entries
+    }
+
+    /// Keys inside the `(lo, hi)` bound pair, ascending (the key half of
+    /// [`BatchedMap::range_entries`]).
+    fn range_keys(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        self.range_entries(lo, hi)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Number of keys inside the `(lo, hi)` bound pair — two rank queries.
+    fn range_count(&self, lo: Bound<&K>, hi: Bound<&K>) -> usize {
+        let (start, end) = bounds_to_rank_interval(
+            self.len(),
+            lo,
+            hi,
+            |k| self.rank(k),
+            |k| self.contains_key(k),
+        );
+        end - start
+    }
+
+    /// The `k`-th smallest pair (0-indexed), or `None` when `k >= len()`.
+    fn kth(&self, k: usize) -> Option<(K, V)>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        if k >= self.len() {
+            return None;
+        }
+        self.collect_entries().into_iter().nth(k)
+    }
+
+    /// The largest key strictly smaller than `key`, or `None`.
+    fn predecessor(&self, key: &K) -> Option<K>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        match self.rank(key) {
+            0 => None,
+            r => self.kth(r - 1).map(|(k, _)| k),
+        }
+    }
+
+    /// The smallest key strictly greater than `key`, or `None`.
+    fn successor(&self, key: &K) -> Option<K>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        self.kth(self.rank(key) + self.contains_key(key) as usize)
+            .map(|(k, _)| k)
+    }
+
+    /// Membership without cloning the value — the `contains` the rank
+    /// arithmetic above needs.
+    fn contains_key(&self, key: &K) -> bool;
+}
 ///
 /// Produced by [`BatchedSet::publish_root`] and consumed by the
 /// flat-combining front-end's wait-free read path: the combiner publishes a
@@ -483,6 +862,63 @@ pub trait SetView<K>: Send + Sync {
     /// contract as [`BatchedSet::collect_keys`], frozen at the view's
     /// linearisation point).
     fn collect_keys(&self) -> Vec<K>;
+
+    /// Keys inside the `(lo, hi)` bound pair, ascending — the view-side
+    /// twin of [`BatchedSet::range_keys`], frozen at the view's
+    /// linearisation point.  The default materialises and slices (`O(n)`);
+    /// real views override with a structure-aware carve.
+    fn range_keys(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K>
+    where
+        K: Ord + Clone,
+    {
+        let (start, end) =
+            bounds_to_rank_interval(self.len(), lo, hi, |k| self.rank(k), |k| self.contains(k));
+        let mut keys = self.collect_keys();
+        keys.truncate(end);
+        keys.drain(..start);
+        keys
+    }
+
+    /// Number of keys inside the `(lo, hi)` bound pair — two rank queries.
+    fn range_count(&self, lo: Bound<&K>, hi: Bound<&K>) -> usize
+    where
+        K: Ord,
+    {
+        let (start, end) =
+            bounds_to_rank_interval(self.len(), lo, hi, |k| self.rank(k), |k| self.contains(k));
+        end - start
+    }
+
+    /// The `k`-th smallest key (0-indexed), or `None` when `k >= len()`.
+    /// Default is `O(n)`; real views override with an indexed descent.
+    fn kth(&self, k: usize) -> Option<K>
+    where
+        K: Clone,
+    {
+        if k >= self.len() {
+            return None;
+        }
+        self.collect_keys().into_iter().nth(k)
+    }
+
+    /// The largest key strictly smaller than `key`, or `None`.
+    fn predecessor(&self, key: &K) -> Option<K>
+    where
+        K: Ord + Clone,
+    {
+        match self.rank(key) {
+            0 => None,
+            r => self.kth(r - 1),
+        }
+    }
+
+    /// The smallest key strictly greater than `key`, or `None`.
+    fn successor(&self, key: &K) -> Option<K>
+    where
+        K: Ord + Clone,
+    {
+        self.kth(self.rank(key) + self.contains(key) as usize)
+    }
 }
 
 /// The fallback [`SetView`]: a shared sorted array, queried by binary
@@ -542,6 +978,24 @@ impl<K: Ord + Clone + Send + Sync> SetView<K> for SortedVecView<K> {
 
     fn collect_keys(&self) -> Vec<K> {
         self.keys.as_ref().clone()
+    }
+
+    // Ordered queries on a sorted array are direct slice operations —
+    // `O(log n)` to locate plus the output copy, no full materialisation.
+
+    fn range_keys(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K> {
+        let (start, end) = bounds_to_rank_interval(
+            self.keys.len(),
+            lo,
+            hi,
+            |k| self.rank(k),
+            |k| self.contains(k),
+        );
+        self.keys[start..end].to_vec()
+    }
+
+    fn kth(&self, k: usize) -> Option<K> {
+        self.keys.get(k).cloned()
     }
 }
 
@@ -808,5 +1262,201 @@ mod tests {
         assert!(set.remove_one(&3));
         assert!(!set.remove_one(&3));
         assert_eq!(set.0, vec![4, 5]);
+    }
+
+    #[test]
+    fn kv_batch_from_unsorted_is_last_wins() {
+        let batch =
+            KvBatch::from_unsorted(vec![(5u64, "a"), (1, "b"), (5, "c"), (5, "d"), (3, "e")]);
+        assert_eq!(batch.keys(), &[1, 3, 5]);
+        assert_eq!(batch.vals(), &["b", "e", "d"]);
+        assert_eq!(batch.len(), 3);
+        assert!(!batch.is_empty());
+        assert_eq!(
+            batch.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>(),
+            vec![(1, "b"), (3, "e"), (5, "d")]
+        );
+        assert_eq!(batch.key_batch().as_slice(), &[1, 3, 5]);
+        let (keys, vals) = batch.into_parts();
+        assert_eq!(keys, vec![1, 3, 5]);
+        assert_eq!(vals, vec!["b", "e", "d"]);
+        assert!(KvBatch::<u64, ()>::empty().is_empty());
+    }
+
+    #[test]
+    fn kv_batch_from_sorted_validates_keys() {
+        assert!(KvBatch::from_sorted(vec![(1u64, 'x'), (2, 'y')]).is_ok());
+        assert_eq!(
+            KvBatch::from_sorted(vec![(1u64, 'x'), (1, 'y')]),
+            Err(BatchError::Duplicate { index: 0 })
+        );
+        assert_eq!(
+            KvBatch::from_sorted(vec![(2u64, 'x'), (1, 'y')]),
+            Err(BatchError::OutOfOrder { index: 0 })
+        );
+    }
+
+    #[test]
+    fn bounds_to_rank_interval_covers_all_bound_shapes() {
+        let keys = [10u64, 20, 30, 40];
+        let interval = |lo, hi| {
+            bounds_to_rank_interval(
+                keys.len(),
+                lo,
+                hi,
+                |k| keys.partition_point(|x| x < k),
+                |k| keys.binary_search(k).is_ok(),
+            )
+        };
+        assert_eq!(interval(Bound::Unbounded, Bound::Unbounded), (0, 4));
+        assert_eq!(interval(Bound::Included(&20), Bound::Included(&30)), (1, 3));
+        assert_eq!(interval(Bound::Excluded(&20), Bound::Excluded(&30)), (2, 2));
+        assert_eq!(interval(Bound::Included(&15), Bound::Excluded(&35)), (1, 3));
+        // Inverted bounds clamp to the empty interval instead of panicking.
+        assert_eq!(interval(Bound::Included(&40), Bound::Excluded(&10)), (3, 3));
+    }
+
+    /// The `BatchedSet` ordered-query defaults, driven through `ToySet`
+    /// (which overrides none of them), against a `BTreeSet` oracle.
+    #[test]
+    fn default_ordered_queries_match_btreeset() {
+        use std::collections::BTreeSet;
+        use std::ops::Bound::*;
+        let keys: Vec<u64> = (0..40).map(|i| i * 5).collect();
+        let set = ToySet(keys.clone());
+        let oracle: BTreeSet<u64> = keys.iter().copied().collect();
+
+        for lo in [
+            Unbounded,
+            Included(&25u64),
+            Excluded(&25u64),
+            Included(&27u64),
+        ] {
+            for hi in [
+                Unbounded,
+                Included(&150u64),
+                Excluded(&150u64),
+                Excluded(&152u64),
+            ] {
+                let expect: Vec<u64> = oracle.range((lo, hi)).copied().collect();
+                assert_eq!(set.range_keys(lo, hi), expect, "{lo:?}..{hi:?}");
+                assert_eq!(set.range_count(lo, hi), expect.len(), "{lo:?}..{hi:?}");
+            }
+        }
+        assert_eq!(set.kth(0), Some(0));
+        assert_eq!(set.kth(39), Some(195));
+        assert_eq!(set.kth(40), None);
+        assert_eq!(set.predecessor(&0), None);
+        assert_eq!(set.predecessor(&1), Some(0));
+        assert_eq!(set.predecessor(&25), Some(20));
+        assert_eq!(set.successor(&195), None);
+        assert_eq!(set.successor(&194), Some(195));
+        assert_eq!(set.successor(&25), Some(30));
+        // Views share the same defaults.
+        let view = set.publish_root();
+        assert_eq!(
+            view.range_keys(Included(&25), Excluded(&150)),
+            set.range_keys(Included(&25), Excluded(&150))
+        );
+        assert_eq!(view.range_count(Unbounded, Unbounded), 40);
+        assert_eq!(view.kth(5), Some(25));
+        assert_eq!(view.predecessor(&25), Some(20));
+        assert_eq!(view.successor(&25), Some(30));
+        // publish_clone_keys: ToySet keeps the O(n) default, so the cost
+        // it reports is exactly its length.
+        assert_eq!(set.publish_clone_keys(), 40);
+    }
+
+    /// Minimal `BatchedMap` impl exercising the trait's derived defaults.
+    struct ToyMap(Vec<(u64, char)>);
+
+    impl BatchedMap<u64, char> for ToyMap {
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn get(&self, key: &u64) -> Option<char> {
+            self.0
+                .binary_search_by(|(k, _)| k.cmp(key))
+                .ok()
+                .map(|i| self.0[i].1)
+        }
+        fn rank(&self, key: &u64) -> usize {
+            self.0.partition_point(|(k, _)| k < key)
+        }
+        fn batch_get(&self, batch: &Batch<u64>) -> Vec<Option<char>> {
+            batch.iter().map(|q| self.get(q)).collect()
+        }
+        fn batch_insert_kv(&mut self, batch: &KvBatch<u64, char>) -> Vec<bool> {
+            batch
+                .iter()
+                .map(|(k, v)| match self.0.binary_search_by(|(x, _)| x.cmp(k)) {
+                    Ok(i) => {
+                        self.0[i].1 = *v;
+                        false
+                    }
+                    Err(i) => {
+                        self.0.insert(i, (*k, *v));
+                        true
+                    }
+                })
+                .collect()
+        }
+        fn batch_remove(&mut self, batch: &Batch<u64>) -> Vec<bool> {
+            batch
+                .iter()
+                .map(|k| match self.0.binary_search_by(|(x, _)| x.cmp(k)) {
+                    Ok(i) => {
+                        self.0.remove(i);
+                        true
+                    }
+                    Err(_) => false,
+                })
+                .collect()
+        }
+        fn collect_entries(&self) -> Vec<(u64, char)> {
+            self.0.clone()
+        }
+        fn contains_key(&self, key: &u64) -> bool {
+            self.get(key).is_some()
+        }
+    }
+
+    #[test]
+    fn map_trait_upserts_and_answers_ordered_queries() {
+        use std::ops::Bound::*;
+        let mut map = ToyMap(Vec::new());
+        let ins = map.batch_insert_kv(&KvBatch::from_unsorted(vec![
+            (3u64, 'a'),
+            (1, 'b'),
+            (3, 'c'),
+        ]));
+        assert_eq!(ins, vec![true, true], "two distinct keys after dedup");
+        assert_eq!(map.get(&3), Some('c'), "last-wins within the batch");
+        // Upsert: present key keeps its slot, takes the new value, flags false.
+        let ins = map.batch_insert_kv(&KvBatch::from_unsorted(vec![(3u64, 'z'), (9, 'q')]));
+        assert_eq!(ins, vec![false, true]);
+        assert_eq!(map.get(&3), Some('z'));
+        assert_eq!(
+            map.batch_get(&Batch::from_unsorted(vec![1, 2, 9])),
+            vec![Some('b'), None, Some('q')]
+        );
+        assert_eq!(map.len(), 3);
+        assert!(!map.is_empty());
+        assert_eq!(
+            map.range_entries(Included(&1), Excluded(&9)),
+            vec![(1, 'b'), (3, 'z')]
+        );
+        assert_eq!(map.range_keys(Unbounded, Unbounded), vec![1, 3, 9]);
+        assert_eq!(map.range_count(Excluded(&1), Unbounded), 2);
+        assert_eq!(map.kth(0), Some((1, 'b')));
+        assert_eq!(map.kth(3), None);
+        assert_eq!(map.predecessor(&3), Some(1));
+        assert_eq!(map.predecessor(&1), None);
+        assert_eq!(map.successor(&3), Some(9));
+        assert_eq!(map.successor(&9), None);
+        assert!(map.contains_key(&9));
+        let gone = map.batch_remove(&Batch::from_unsorted(vec![1, 5]));
+        assert_eq!(gone, vec![true, false]);
+        assert_eq!(map.collect_entries(), vec![(3, 'z'), (9, 'q')]);
     }
 }

@@ -176,7 +176,9 @@
 #![warn(missing_docs)]
 
 use std::cell::UnsafeCell;
+use std::fmt;
 use std::mem;
+use std::ops::Bound;
 use std::ptr;
 use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -343,6 +345,12 @@ struct CombineMetrics {
     /// `combine.snapshot_reads` — read operations served wait-free from the
     /// published snapshot (each batched read counts once).
     snapshot_reads: Arc<Counter>,
+    /// `combine.publish_clone_keys` — keys cloned by `publish_root` across
+    /// all mutating rounds.  Stays zero for backends with an `O(1)`
+    /// publication override (`pbist::IstSet`, `baselines::SortedArraySet`);
+    /// a steadily climbing value exposes a backend silently paying the
+    /// trait default's `O(n)`-per-round clone.
+    publish_clone_keys: Arc<Counter>,
     /// `combine.snapshot_lag` — `committed_seq - snapshot seq` observed by
     /// snapshot-handle and batched snapshot reads: how many committed
     /// (necessarily read-only) rounds the served snapshot's mark trailed
@@ -363,6 +371,7 @@ impl CombineMetrics {
             batch_rounds: registry.counter("combine.batch_rounds"),
             round_size: registry.histogram("combine.round_size"),
             snapshot_reads: registry.counter("combine.snapshot_reads"),
+            publish_clone_keys: registry.counter("combine.publish_clone_keys"),
             snapshot_lag: registry.histogram("combine.snapshot_lag"),
         }
     }
@@ -380,6 +389,14 @@ pub struct ReadSnapshot<K> {
     view: Arc<dyn SetView<K>>,
 }
 
+impl<K> fmt::Debug for ReadSnapshot<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReadSnapshot")
+            .field("seq", &self.seq)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<K> ReadSnapshot<K> {
     /// Sequence number of the last *mutating* round this snapshot reflects.
     /// May trail [`ConcurrentSet::committed_seq`] by read-only rounds —
@@ -393,6 +410,35 @@ impl<K> ReadSnapshot<K> {
         self.view.as_ref()
     }
 }
+
+/// [`ConcurrentSet::read_at_least`] was asked for a freshness mark that no
+/// committed round carries and that no in-flight work can produce: the
+/// front-end was idle with `committed < want`, so waiting longer would wait
+/// on writers that need never arrive.
+///
+/// Seeing this error means `want` was not an *observed* mark (every
+/// observed mark is already committed — rounds publish before they
+/// acknowledge); the caller is asking about the future.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreshnessError {
+    /// The freshness floor the caller asked for.
+    pub want: u64,
+    /// The committed high-water mark when the front-end went idle.
+    pub committed: u64,
+}
+
+impl std::fmt::Display for FreshnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "read_at_least({}) cannot be satisfied: the front-end is idle \
+             at committed seq {} and no in-flight round can reach the mark",
+            self.want, self.committed
+        )
+    }
+}
+
+impl std::error::Error for FreshnessError {}
 
 /// One slot of the left-right snapshot cell: the snapshot plus the number
 /// of readers currently borrowing it.
@@ -767,6 +813,63 @@ where
         self.read_via_round(|set| set.max().cloned())
     }
 
+    /// Keys inside the `(lo, hi)` bound pair, in ascending order.
+    ///
+    /// With [`Options::snapshot_reads`] on (the default) the whole range is
+    /// carved out of the last published [`ReadSnapshot`] — one consistent
+    /// linearisation point, wait-free, under the module docs' staleness
+    /// contract (the result reflects every *acknowledged* write, and may
+    /// miss writes not yet acknowledged).  Counted in
+    /// `combine.snapshot_reads`.  With snapshot reads off it linearises
+    /// through a combining round like the other reads.
+    pub fn range_keys(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K> {
+        if self.snapshot_reads {
+            self.check_poisoned();
+            // A range scan can be long: hold an `Arc` (`read_snapshot`)
+            // rather than the cell's borrow window (`snap_read`), so a
+            // concurrent publisher never waits on our scan.
+            return self.read_snapshot().view().range_keys(lo, hi);
+        }
+        self.read_via_round(|set| set.range_keys(lo, hi))
+    }
+
+    /// Number of keys inside the `(lo, hi)` bound pair — two rank descents
+    /// against one snapshot.  Same linearisation and staleness contract as
+    /// [`ConcurrentSet::range_keys`].
+    pub fn range_count(&self, lo: Bound<&K>, hi: Bound<&K>) -> usize {
+        if self.snapshot_reads {
+            return self.snap_read(|view| view.range_count(lo, hi));
+        }
+        self.read_via_round(|set| set.range_count(lo, hi))
+    }
+
+    /// The largest key strictly smaller than `key`, or `None`.  Same
+    /// contract as [`ConcurrentSet::range_keys`].
+    pub fn predecessor(&self, key: &K) -> Option<K> {
+        if self.snapshot_reads {
+            return self.snap_read(|view| view.predecessor(key));
+        }
+        self.read_via_round(|set| set.predecessor(key))
+    }
+
+    /// The smallest key strictly greater than `key`, or `None`.  Same
+    /// contract as [`ConcurrentSet::range_keys`].
+    pub fn successor(&self, key: &K) -> Option<K> {
+        if self.snapshot_reads {
+            return self.snap_read(|view| view.successor(key));
+        }
+        self.read_via_round(|set| set.successor(key))
+    }
+
+    /// The `k`-th smallest key (0-indexed), or `None` when `k >= len()`.
+    /// Same contract as [`ConcurrentSet::range_keys`].
+    pub fn kth(&self, k: usize) -> Option<K> {
+        if self.snapshot_reads {
+            return self.snap_read(|view| view.kth(k));
+        }
+        self.read_via_round(|set| set.kth(k))
+    }
+
     /// Answers one membership query per key of a pre-sorted `batch`,
     /// executed as one combining round of its own.
     ///
@@ -987,19 +1090,31 @@ where
     }
 
     /// Snapshot read with a freshness floor: returns a snapshot whose
-    /// *contents* include every round with seq `<= want`, spinning (and
+    /// *contents* include every round with seq `<= want`, waiting (and
     /// combining pending rounds itself when it can) until one is published.
     ///
     /// The returned snapshot's [`ReadSnapshot::seq`] may still be below
     /// `want` when the rounds in between were read-only — they changed
     /// nothing, so the older root is content-identical.
     ///
+    /// # Bounded wait
+    ///
+    /// Every legitimately *observed* mark is already committed (rounds
+    /// publish before they acknowledge), so a caller passing a mark it
+    /// observed — [`ConcurrentSet::committed_seq`], a
+    /// [`ReadSnapshot::seq`], a durable log record — returns immediately.
+    /// A `want` above the committed mark can only be satisfied by rounds
+    /// still in flight; this call helps drain them, but the moment the
+    /// front-end is idle (no combiner running, no published operations)
+    /// with `committed` still short of `want`, no progress this call can
+    /// make will ever commit `want`, and it returns
+    /// [`FreshnessError`] instead of spinning forever.
+    ///
     /// # Panics
     ///
-    /// Panics if the front-end is poisoned (`want` may never arrive) or if
-    /// `want` exceeds every seq this set will ever commit — callers pass
-    /// marks they observed, e.g. [`ConcurrentSet::committed_seq`].
-    pub fn read_at_least(&self, want: u64) -> Arc<ReadSnapshot<K>> {
+    /// Panics if the front-end is poisoned (`want` may never arrive);
+    /// the poison check repeats on every wait iteration.
+    pub fn read_at_least(&self, want: u64) -> Result<Arc<ReadSnapshot<K>>, FreshnessError> {
         loop {
             self.check_poisoned();
             // `committed` is loaded *before* the snapshot: if rounds
@@ -1014,11 +1129,26 @@ where
                 self.metrics
                     .snapshot_lag
                     .record(committed.saturating_sub(snap.seq));
-                return snap;
+                return Ok(snap);
             }
             // Behind: help drain pending rounds (we may become the
             // combiner ourselves) rather than bust-waiting.
             self.try_combine();
+            // Re-check after helping.  If the mark still trails `want`
+            // with no combiner mid-round and nothing published, the seq
+            // counter is frozen: `want` exceeds every seq that will be
+            // committed without new writers arriving, and waiting on
+            // writers that need never arrive is the unbounded spin this
+            // contract forbids.
+            let committed = self.committed.load(Ordering::Acquire);
+            if committed >= want {
+                continue;
+            }
+            if !self.combiner.load(Ordering::Acquire)
+                && self.ingress.load(Ordering::Acquire).is_null()
+            {
+                return Err(FreshnessError { want, committed });
+            }
             std::thread::yield_now();
         }
     }
@@ -1268,7 +1398,14 @@ where
         if mutated {
             // SAFETY: combiner flag held — exclusive set access (the
             // round's own `&mut` borrow is dead by the time this runs).
-            let view = unsafe { &*self.set.get() }.publish_root();
+            let set = unsafe { &*self.set.get() };
+            let view = set.publish_root();
+            // Make the publication cost visible: backends without an O(1)
+            // `publish_root` override clone their whole contents here,
+            // every mutating round.
+            self.metrics
+                .publish_clone_keys
+                .add_single_writer(set.publish_clone_keys() as u64);
             self.snap.publish(Arc::new(ReadSnapshot { seq, view }));
         }
         self.committed.store(seq, Ordering::Release);
@@ -2062,7 +2199,7 @@ mod tests {
         set.insert(7);
         let mark = set.committed_seq();
         assert_eq!(mark, 1);
-        let snap = set.read_at_least(mark);
+        let snap = set.read_at_least(mark).unwrap();
         assert!(snap.seq() >= mark);
         assert!(snap.view().contains(&7));
 
@@ -2072,11 +2209,107 @@ mod tests {
         set.insert(1);
         assert!(set.contains(&1)); // a combining round of its own
         assert_eq!(set.committed_seq(), 2);
-        let snap = set.read_at_least(2);
+        let snap = set.read_at_least(2).unwrap();
         assert_eq!(snap.seq(), 1, "mutating publish was round 1");
         assert!(
             snap.view().contains(&1),
             "contents exact through the wanted mark"
+        );
+    }
+
+    #[test]
+    fn read_at_least_errors_on_unreachable_marks() {
+        // Regression: a `want` one past the last committed seq, with no
+        // concurrent writers, used to spin forever — nothing would ever
+        // commit it.  The bounded-wait contract returns an error instead.
+        let set = fresh_snap();
+        set.insert(7);
+        let mark = set.committed_seq();
+        let err = set.read_at_least(mark + 1).unwrap_err();
+        assert_eq!(
+            err,
+            FreshnessError {
+                want: mark + 1,
+                committed: mark
+            }
+        );
+        assert!(err.to_string().contains("idle"), "{err}");
+        // The front-end is unharmed: observed marks still succeed, writes
+        // still commit and are then reachable.
+        assert!(set.read_at_least(mark).is_ok());
+        set.insert(8);
+        let snap = set.read_at_least(mark + 1).unwrap();
+        assert!(snap.view().contains(&8));
+        // An empty, never-written set errors for any positive mark.
+        let idle = fresh_snap();
+        assert!(idle.read_at_least(1).is_err());
+    }
+
+    #[test]
+    fn range_reads_are_wait_free_snapshot_reads() {
+        let set = fresh_snap();
+        set.batch_insert(&Batch::from_unsorted((0..100u64).map(|i| i * 2).collect()));
+        let before = set.metrics().counter("combine.snapshot_reads").unwrap();
+
+        assert_eq!(
+            set.range_keys(Bound::Included(&10), Bound::Excluded(&20)),
+            vec![10, 12, 14, 16, 18]
+        );
+        assert_eq!(
+            set.range_count(Bound::Included(&10), Bound::Excluded(&20)),
+            5
+        );
+        assert_eq!(set.predecessor(&11), Some(10));
+        assert_eq!(set.predecessor(&0), None);
+        assert_eq!(set.successor(&196), Some(198));
+        assert_eq!(set.successor(&198), None);
+        assert_eq!(set.kth(0), Some(0));
+        assert_eq!(set.kth(99), Some(198));
+        assert_eq!(set.kth(100), None);
+
+        // Every one of those was served from the snapshot: the counter
+        // moved and the round log gained nothing.
+        let after = set.metrics().counter("combine.snapshot_reads").unwrap();
+        assert!(after >= before + 9, "{before} -> {after}");
+        assert_eq!(set.take_rounds().len(), 1, "only the batch insert");
+
+        // Staleness contract: a range read reflects acknowledged writes.
+        set.insert(11);
+        assert_eq!(
+            set.range_keys(Bound::Included(&10), Bound::Included(&12)),
+            vec![10, 11, 12]
+        );
+
+        // With snapshot reads off the same queries linearise via rounds
+        // and agree.
+        let set = fresh(false);
+        set.batch_insert(&Batch::from_unsorted((0..50u64).collect()));
+        assert_eq!(set.range_count(Bound::Unbounded, Bound::Excluded(&10)), 10);
+        assert_eq!(set.kth(3), Some(3));
+        assert_eq!(set.predecessor(&1), Some(0));
+        assert_eq!(set.successor(&48), Some(49));
+    }
+
+    #[test]
+    fn publish_clone_keys_stays_zero_for_shared_roots() {
+        // VecSet has no publish_root override: every mutating round clones
+        // the whole contents, and the counter makes that cost visible.
+        let set = fresh_snap();
+        set.insert(1);
+        set.insert(2);
+        set.insert(3);
+        let cloned = set.metrics().counter("combine.publish_clone_keys").unwrap();
+        assert_eq!(cloned, 1 + 2 + 3, "VecSet pays O(n) per mutating round");
+
+        // The IST overrides publication to an Arc clone: zero keys cloned.
+        let pool = Pool::new(2).unwrap();
+        let ist = ConcurrentSet::new(pbist::IstSet::from_unsorted((0..1000u64).collect()), pool);
+        ist.insert(5000);
+        ist.batch_insert(&Batch::from_unsorted((2000..2100u64).collect()));
+        assert_eq!(
+            ist.metrics().counter("combine.publish_clone_keys"),
+            Some(0),
+            "IstSet publishes in O(1)"
         );
     }
 
@@ -2118,7 +2351,7 @@ mod tests {
                 set.batch_contains(&Batch::from_unsorted(vec![3u64]));
             }),
             Box::new(|| {
-                set.read_at_least(1);
+                let _ = set.read_at_least(1);
             }),
         ];
         for read in reads {

@@ -57,6 +57,13 @@
 //! memory, not yet fsynced under `group_commit > 1`) may or may not
 //! survive — whole trailing rounds, never fractions of one.
 //!
+//! # Maps
+//!
+//! [`DurableMap`] is the key-value variant: the same WAL/snapshot/recover
+//! protocol in a *version-2* on-disk dialect whose upsert records and
+//! snapshots carry value payloads.  See the [`map`] module docs for the
+//! dialect and its (mutex-serialised, combiner-less) concurrency model.
+//!
 //! # Example
 //!
 //! ```
@@ -86,8 +93,11 @@
 #![warn(missing_docs)]
 
 mod log;
+pub mod map;
 mod record;
 mod snapshot;
+
+pub use map::DurableMap;
 
 use std::collections::BTreeSet;
 use std::io;
@@ -99,7 +109,9 @@ use combine::{ConcurrentSet, OpKind, Options};
 use forkjoin::Pool;
 use obs::{Counter, Gauge, Histogram, Registry};
 
-use crate::log::{list_segments, replay_segment, truncate_segment, SegmentEnd, SegmentLog};
+use crate::log::{
+    list_segments, replay_segment, truncate_segment, SegmentEnd, SegmentLog, SEGMENT_MAGIC,
+};
 use crate::record::{encode_record, WalOp};
 use crate::snapshot::{
     commit_manifest, load_snapshot, read_manifest, remove_stale_snapshots, snapshot_path,
@@ -341,7 +353,7 @@ where
         //    name order stays append order across process lifetimes.
         let highest_name = segments.iter().map(|&(seq, _)| seq).max().unwrap_or(0);
         let name = (max_seq + 1).max(highest_name + 1);
-        let log = SegmentLog::create(&dir, name, options.segment_bytes.max(1))?;
+        let log = SegmentLog::create(&dir, name, options.segment_bytes.max(1), SEGMENT_MAGIC)?;
         metrics.segments_created.inc();
 
         // 5. The backend, from the recovered contents, with round

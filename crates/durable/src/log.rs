@@ -22,16 +22,25 @@ use std::path::{Path, PathBuf};
 
 use batchapi::KeyCodec;
 
-use crate::record::{decode_record, DecodeOutcome, WalRecord};
+use crate::record::{decode_map_record, decode_record, DecodeOutcome, WalMapRecord, WalRecord};
 
-/// Identifies a WAL segment file (version 1).
+/// Identifies a version-1 (set) WAL segment: records carry keys only.
 pub(crate) const SEGMENT_MAGIC: &[u8; 8] = b"PBWAL\x00\x00\x01";
+
+/// Identifies a version-2 (map) WAL segment: upsert records carry a value
+/// payload after the key.  The bumped magic keeps the families apart — a
+/// set opening a map's log (or vice versa) tears at offset zero instead
+/// of mis-decoding value bytes as keys.
+pub(crate) const SEGMENT_MAGIC_V2: &[u8; 8] = b"PBWAL\x00\x00\x02";
 
 /// The active segment an open [`DurableSet`](crate::DurableSet) appends to.
 #[derive(Debug)]
 pub(crate) struct SegmentLog {
     dir: PathBuf,
     file: File,
+    /// The magic this log stamps on every segment it creates (version 1
+    /// for set logs, version 2 for map logs); rotation preserves it.
+    magic: &'static [u8; 8],
     /// Bytes written to the active segment (including the magic).
     bytes: u64,
     /// Rotation threshold; the active segment rotates once `bytes`
@@ -42,16 +51,22 @@ pub(crate) struct SegmentLog {
 impl SegmentLog {
     /// Creates (truncating) the active segment `wal-<name_seq>.log` and
     /// makes its directory entry durable.
-    pub(crate) fn create(dir: &Path, name_seq: u64, segment_bytes: u64) -> io::Result<SegmentLog> {
+    pub(crate) fn create(
+        dir: &Path,
+        name_seq: u64,
+        segment_bytes: u64,
+        magic: &'static [u8; 8],
+    ) -> io::Result<SegmentLog> {
         let path = segment_path(dir, name_seq);
         let mut file = File::create(&path)?;
-        file.write_all(SEGMENT_MAGIC)?;
+        file.write_all(magic)?;
         file.sync_all()?;
         sync_dir(dir)?;
         Ok(SegmentLog {
             dir: dir.to_path_buf(),
             file,
-            bytes: SEGMENT_MAGIC.len() as u64,
+            magic,
+            bytes: magic.len() as u64,
             segment_bytes,
         })
     }
@@ -77,7 +92,7 @@ impl SegmentLog {
     /// synced the old segment first (rotation seals it; nothing ever
     /// appends to it again).
     pub(crate) fn rotate(&mut self, name_seq: u64) -> io::Result<()> {
-        let next = SegmentLog::create(&self.dir, name_seq, self.segment_bytes)?;
+        let next = SegmentLog::create(&self.dir, name_seq, self.segment_bytes, self.magic)?;
         *self = next;
         Ok(())
     }
@@ -132,19 +147,45 @@ pub(crate) enum SegmentEnd {
 /// `apply` returns `false` to reject a record (recovery uses this to
 /// treat a non-increasing sequence number as damage); the rejected
 /// record's offset is reported as the tear.
-pub(crate) fn replay_segment<K, F>(path: &Path, mut apply: F) -> io::Result<SegmentEnd>
+pub(crate) fn replay_segment<K, F>(path: &Path, apply: F) -> io::Result<SegmentEnd>
 where
     K: KeyCodec,
     F: FnMut(WalRecord<K>) -> bool,
 {
+    replay_segment_with(path, SEGMENT_MAGIC, decode_record::<K>, apply)
+}
+
+/// [`replay_segment`] for version-2 (map) segments: value-bearing records
+/// decoded by [`decode_map_record`].
+pub(crate) fn replay_map_segment<K, V, F>(path: &Path, apply: F) -> io::Result<SegmentEnd>
+where
+    K: KeyCodec,
+    V: KeyCodec,
+    F: FnMut(WalMapRecord<K, V>) -> bool,
+{
+    replay_segment_with(path, SEGMENT_MAGIC_V2, decode_map_record::<K, V>, apply)
+}
+
+/// Shared replay loop: verify the expected magic, then decode records
+/// with `decode` until the buffer ends cleanly or tears.
+fn replay_segment_with<R, D, F>(
+    path: &Path,
+    magic: &[u8; 8],
+    decode: D,
+    mut apply: F,
+) -> io::Result<SegmentEnd>
+where
+    D: Fn(&[u8], usize) -> DecodeOutcome<R>,
+    F: FnMut(R) -> bool,
+{
     let mut buf = Vec::new();
     File::open(path)?.read_to_end(&mut buf)?;
-    if buf.len() < SEGMENT_MAGIC.len() || &buf[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+    if buf.len() < magic.len() || &buf[..magic.len()] != magic {
         return Ok(SegmentEnd::Torn(0));
     }
-    let mut at = SEGMENT_MAGIC.len();
+    let mut at = magic.len();
     loop {
-        match decode_record::<K>(&buf, at) {
+        match decode(&buf, at) {
             DecodeOutcome::Clean => return Ok(SegmentEnd::Clean),
             DecodeOutcome::Torn => return Ok(SegmentEnd::Torn(at as u64)),
             DecodeOutcome::Record { record, consumed } => {
@@ -210,7 +251,7 @@ mod tests {
     fn append_replay_round_trips_across_rotation() {
         let dir = scratch_dir("rotate");
         // Tiny threshold: every record trips rotation.
-        let mut log = SegmentLog::create(&dir, 1, 16).unwrap();
+        let mut log = SegmentLog::create(&dir, 1, 16, SEGMENT_MAGIC).unwrap();
         for seq in 1..=5u64 {
             if log.wants_rotation() {
                 log.sync().unwrap();
@@ -245,7 +286,7 @@ mod tests {
     #[test]
     fn torn_tail_reports_the_valid_prefix_and_truncation_heals_it() {
         let dir = scratch_dir("torn");
-        let mut log = SegmentLog::create(&dir, 1, u64::MAX).unwrap();
+        let mut log = SegmentLog::create(&dir, 1, u64::MAX, SEGMENT_MAGIC).unwrap();
         log.append(&one_record(1, 7)).unwrap();
         let valid_end = log.bytes();
         let mut partial = one_record(2, 8);
@@ -285,7 +326,7 @@ mod tests {
     #[test]
     fn listing_ignores_non_segment_files() {
         let dir = scratch_dir("list");
-        SegmentLog::create(&dir, 2, 64).unwrap();
+        SegmentLog::create(&dir, 2, 64, SEGMENT_MAGIC).unwrap();
         fs::write(dir.join("MANIFEST"), b"m").unwrap();
         fs::write(dir.join("snap-00000000000000000001.snap"), b"s").unwrap();
         fs::write(dir.join("wal-junk.log"), b"j").unwrap();

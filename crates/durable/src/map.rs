@@ -1,0 +1,658 @@
+//! Durable key-value maps: the map-tier sibling of [`DurableSet`].
+//!
+//! A [`DurableMap`] persists a [`batchapi::BatchedMap`] backend with the
+//! same artefacts as the set tier — an append-only segment WAL, key-value
+//! snapshots, an atomically-committed manifest — but in the *version-2*
+//! on-disk dialect: segments open with the bumped magic
+//! (`PBWAL\x00\x00\x02`), upsert records carry a value payload after the
+//! key (`KIND_INSERT_KV`), and snapshots store `(key, value)` entries
+//! (`PBSNAP\x00\x02`).  Each dialect's recovery rejects the other's
+//! artefacts — a set log never replays into a map or vice versa, and an
+//! unknown record kind reads as a torn tail, never as invented data.
+//!
+//! # Concurrency model
+//!
+//! Unlike [`DurableSet`], which layers the WAL over the flat-combining
+//! front-end's commit log, `DurableMap` serialises every operation through
+//! one mutex holding the backend *and* the WAL together.  That single
+//! critical section makes append order trivially equal to commit order —
+//! the WAL is the linearisation — at the cost of no combining: one writer
+//! mutates at a time.  Batched calls still amortise (one lock, one round,
+//! one record per batch); wiring a map-aware combining front-end in front
+//! is the roadmap's follow-on.
+//!
+//! # Logging policy
+//!
+//! Every upsert is logged, including upserts of already-present keys —
+//! the value may have changed, and replaying an unchanged upsert is
+//! idempotent (last-wins).  Removes of absent keys and pure reads are not
+//! logged.  Group commit, snapshots, `durable_seq`, wedging, and the
+//! crash-consistency contract are exactly the set tier's; the kill-9
+//! suite in `tests/durable_map_crash.rs` enforces that *values*, not
+//! just keys, survive recovery.
+//!
+//! [`DurableSet`]: crate::DurableSet
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use batchapi::{Batch, BatchedMap, KeyCodec, KvBatch};
+use obs::Registry;
+
+use crate::log::{
+    list_segments, replay_map_segment, truncate_segment, SegmentEnd, SegmentLog, SEGMENT_MAGIC_V2,
+};
+use crate::record::{encode_map_record, WalMapOp, WalMapOpRef};
+use crate::snapshot::{
+    commit_manifest, load_kv_snapshot, read_manifest, remove_stale_snapshots, snapshot_path,
+    write_kv_snapshot,
+};
+use crate::{log, DurableOptions, Metrics, Wal};
+
+/// The backend and its WAL, under one mutex: the shared critical section
+/// is what makes append order equal commit order (see the module docs).
+struct MapInner<M> {
+    map: M,
+    wal: Wal,
+}
+
+/// A durable concurrent map: a [`batchapi::BatchedMap`] backend whose
+/// mutations are appended — values included — to a version-2 write-ahead
+/// log, checkpointed by key-value snapshots, and recovered by
+/// [`DurableMap::open`].  See the [module docs](self) for the dialect and
+/// the concurrency model, and the [crate docs](crate) for the protocol
+/// and crash-consistency contract it shares with [`crate::DurableSet`].
+pub struct DurableMap<K, V, M>
+where
+    K: Ord + Clone + KeyCodec,
+    V: Clone + KeyCodec,
+    M: BatchedMap<K, V>,
+{
+    inner: Mutex<MapInner<M>>,
+    dir: PathBuf,
+    group_commit: u64,
+    snapshot_every: u64,
+    registry: Registry,
+    metrics: Metrics,
+    _marker: std::marker::PhantomData<(K, V)>,
+}
+
+impl<K, V, M> DurableMap<K, V, M>
+where
+    K: Ord + Clone + KeyCodec,
+    V: Clone + KeyCodec,
+    M: BatchedMap<K, V>,
+{
+    /// Opens (creating if absent) the durable map rooted at `dir`,
+    /// recovering any existing history: load the manifest's key-value
+    /// snapshot, replay the version-2 log tail above it, truncate a torn
+    /// final record, and seed a fresh backend via `make_backend` (e.g.
+    /// `IstMap::from_kv_batch`).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or `InvalidData` when a committed artefact (manifest
+    /// or snapshot) is damaged — including a *set*-dialect snapshot,
+    /// which a map must refuse rather than invent values for.  A torn log
+    /// tail is an expected crash signature and recovered from silently;
+    /// so is a whole set-dialect (version-1) segment, which tears at
+    /// offset zero.
+    pub fn open<P, F>(
+        dir: P,
+        options: DurableOptions,
+        make_backend: F,
+    ) -> io::Result<DurableMap<K, V, M>>
+    where
+        P: AsRef<Path>,
+        F: FnOnce(KvBatch<K, V>) -> M,
+    {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let registry = Registry::new();
+        let metrics = Metrics::new(&registry);
+
+        // 1. The snapshot, if one was ever committed.
+        let mut contents: BTreeMap<K, V> = BTreeMap::new();
+        let mut snap_seq = 0u64;
+        if let Some((seq, path)) = read_manifest(&dir)? {
+            let (file_seq, keys, vals) = load_kv_snapshot::<K, V>(&path)?;
+            if file_seq != seq {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "manifest says seq {seq} but snapshot {} says {file_seq}",
+                        path.display()
+                    ),
+                ));
+            }
+            snap_seq = seq;
+            contents.extend(keys.into_iter().zip(vals));
+        }
+        metrics.snapshot_seq.set(snap_seq);
+
+        // 2. Replay the log tail in segment-name (= append) order; a
+        //    non-increasing record seq is damage, like the set tier.
+        let segments = list_segments(&dir)?;
+        let mut max_seq = snap_seq;
+        let mut last_record_seq = 0u64;
+        let mut replayed = 0u64;
+        let mut tear: Option<(usize, u64)> = None;
+        for (i, (_, path)) in segments.iter().enumerate() {
+            let end = replay_map_segment::<K, V, _>(path, |record| {
+                if record.seq <= last_record_seq {
+                    return false;
+                }
+                last_record_seq = record.seq;
+                if record.seq > snap_seq {
+                    for op in record.ops {
+                        match op {
+                            WalMapOp::InsertKv(key, val) => {
+                                contents.insert(key, val);
+                            }
+                            WalMapOp::Remove(key) => {
+                                contents.remove(&key);
+                            }
+                        }
+                    }
+                    max_seq = record.seq;
+                    replayed += 1;
+                }
+                true
+            })?;
+            if let SegmentEnd::Torn(offset) = end {
+                tear = Some((i, offset));
+                break;
+            }
+        }
+
+        // 3. Heal a tear exactly as the set tier does.
+        if let Some((i, offset)) = tear {
+            metrics.torn_tails.inc();
+            if offset == 0 {
+                std::fs::remove_file(&segments[i].1)?;
+                metrics.segments_deleted.inc();
+            } else {
+                truncate_segment(&segments[i].1, offset)?;
+            }
+            for (_, path) in &segments[i + 1..] {
+                std::fs::remove_file(path)?;
+                metrics.segments_deleted.inc();
+            }
+            log::sync_dir(&dir)?;
+        }
+        metrics.recovery_replayed.record(replayed);
+
+        // 4. A fresh active version-2 segment, named past every survivor.
+        let highest_name = segments.iter().map(|&(seq, _)| seq).max().unwrap_or(0);
+        let name = (max_seq + 1).max(highest_name + 1);
+        let wal_log =
+            SegmentLog::create(&dir, name, options.segment_bytes.max(1), SEGMENT_MAGIC_V2)?;
+        metrics.segments_created.inc();
+
+        // 5. The backend, from the recovered entries.
+        let pairs: Vec<(K, V)> = contents.into_iter().collect();
+        let batch = KvBatch::from_sorted(pairs).expect("BTreeMap iterates strictly ascending");
+        let map = make_backend(batch);
+
+        metrics.appended_seq.set(max_seq);
+        metrics.durable_seq.set(max_seq);
+        Ok(DurableMap {
+            inner: Mutex::new(MapInner {
+                map,
+                wal: Wal {
+                    log: wal_log,
+                    appended_seq: max_seq,
+                    last_name: name,
+                    pending: 0,
+                    since_snapshot: 0,
+                    buf: Vec::new(),
+                    wedged: false,
+                },
+            }),
+            dir,
+            group_commit: options.group_commit.max(1),
+            snapshot_every: options.snapshot_every,
+            registry,
+            metrics,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Upserts `key -> val`; `Ok(true)` iff the key was newly inserted
+    /// (an upsert of a present key returns `Ok(false)` but still replaces
+    /// the value, and is still logged).  Durable on return only under
+    /// `group_commit: 1` (see the crate docs).
+    pub fn insert(&self, key: K, val: V) -> io::Result<bool> {
+        let batch = KvBatch::from_unsorted(vec![(key, val)]);
+        Ok(self.batch_insert_kv(&batch)?[0])
+    }
+
+    /// Removes `key`; `Ok(true)` iff it was present.
+    pub fn remove(&self, key: &K) -> io::Result<bool> {
+        let batch =
+            Batch::from_sorted(vec![key.clone()]).expect("a single key is trivially sorted");
+        Ok(self.batch_remove(&batch)?[0])
+    }
+
+    /// The value stored under `key`, if any.  Reads touch only the
+    /// in-memory backend — no WAL work, no `io::Result`.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.inner.lock().unwrap().map.get(key)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.inner.lock().unwrap().map.contains_key(key)
+    }
+
+    /// One lookup per batch key; `result[i]` answers `batch[i]`.
+    pub fn batch_get(&self, batch: &Batch<K>) -> Vec<Option<V>> {
+        self.inner.lock().unwrap().map.batch_get(batch)
+    }
+
+    /// Upserts every batch entry (last-wins dedup already applied by
+    /// [`KvBatch`]); one round, one WAL record carrying every `(key,
+    /// value)` payload.  `result[i]` is `true` iff `batch.keys()[i]` was
+    /// newly inserted.
+    pub fn batch_insert_kv(&self, batch: &KvBatch<K, V>) -> io::Result<Vec<bool>> {
+        self.with_wal(|this, inner| {
+            let flags = inner.map.batch_insert_kv(batch);
+            this.metrics.rounds_drained.inc();
+            let ops: Vec<WalMapOpRef<'_, K, V>> = batch
+                .iter()
+                .map(|(k, v)| WalMapOpRef::InsertKv(k, v))
+                .collect();
+            this.append_and_commit(inner, &ops)?;
+            Ok(flags)
+        })
+    }
+
+    /// Removes every batch key; `result[i]` is `true` iff
+    /// `batch[i]` was present.  Only effective removals are logged.
+    pub fn batch_remove(&self, batch: &Batch<K>) -> io::Result<Vec<bool>> {
+        self.with_wal(|this, inner| {
+            let flags = inner.map.batch_remove(batch);
+            this.metrics.rounds_drained.inc();
+            let ops: Vec<WalMapOpRef<'_, K, V>> = batch
+                .iter()
+                .zip(&flags)
+                .filter(|&(_, &hit)| hit)
+                .map(|(k, _)| WalMapOpRef::Remove(k))
+                .collect();
+            this.append_and_commit(inner, &ops)?;
+            Ok(flags)
+        })
+    }
+
+    /// Number of entries (in memory; does not publish).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every `(key, value)` entry in ascending key order — the full
+    /// contents at one linearisation point.
+    pub fn collect_entries(&self) -> Vec<(K, V)> {
+        self.inner.lock().unwrap().map.collect_entries()
+    }
+
+    /// Forces everything committed so far onto disk and returns the new
+    /// durable high-water sequence number.
+    pub fn sync(&self) -> io::Result<u64> {
+        self.with_wal(|this, inner| {
+            this.fsync_wal(&mut inner.wal)?;
+            Ok(this.metrics.durable_seq.get())
+        })
+    }
+
+    /// Takes a key-value snapshot now and truncates the log; returns the
+    /// snapshot's sequence number.  Everything at or below it is durable
+    /// when this returns.
+    pub fn snapshot(&self) -> io::Result<u64> {
+        self.with_wal(|this, inner| this.snapshot_inner(inner))
+    }
+
+    /// The durable high-water mark: every round with seq at or below this
+    /// has reached disk and survives any crash.
+    pub fn durable_seq(&self) -> u64 {
+        self.metrics.durable_seq.get()
+    }
+
+    /// Snapshot of the `durable.*` metrics (same registry names as the
+    /// set tier).
+    pub fn metrics(&self) -> obs::Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Drains and fsyncs, then closes; the error-reporting variant of
+    /// [`Drop`].
+    pub fn close(self) -> io::Result<()> {
+        self.sync().map(|_| ())
+    }
+
+    /// The shared durability tail of every mutation: append one record
+    /// carrying `ops` (skipped entirely when there are none — no-op
+    /// rounds leave no trace, like the set tier's stripped rounds), then
+    /// run group commit and the snapshot policy.  Caller holds the lock
+    /// and has already applied the mutation to the backend.
+    fn append_and_commit(
+        &self,
+        inner: &mut MapInner<M>,
+        ops: &[WalMapOpRef<'_, K, V>],
+    ) -> io::Result<()> {
+        if !ops.is_empty() {
+            let wal = &mut inner.wal;
+            if wal.log.wants_rotation() {
+                self.fsync_wal(wal)?;
+                let name = wal.next_name();
+                wal.log.rotate(name)?;
+                wal.last_name = name;
+                self.metrics.segments_created.inc();
+            }
+            let seq = wal.appended_seq + 1;
+            let mut buf = std::mem::take(&mut wal.buf);
+            buf.clear();
+            encode_map_record(seq, ops, &mut buf);
+            let appended = wal.log.append(&buf);
+            self.metrics.bytes_written.add(buf.len() as u64);
+            wal.buf = buf;
+            appended?;
+            self.metrics.records_appended.inc();
+            wal.appended_seq = seq;
+            wal.pending += 1;
+            wal.since_snapshot += 1;
+            self.metrics.appended_seq.set(seq);
+        }
+        if inner.wal.pending >= self.group_commit {
+            self.fsync_wal(&mut inner.wal)?;
+        }
+        if self.snapshot_every > 0 && inner.wal.since_snapshot >= self.snapshot_every {
+            self.snapshot_inner(inner)?;
+        }
+        Ok(())
+    }
+
+    /// Runs `f` under the lock with wedge bookkeeping, mirroring the set
+    /// tier: refuse if a previous call failed, wedge if this one does.
+    fn with_wal<T>(
+        &self,
+        f: impl FnOnce(&Self, &mut MapInner<M>) -> io::Result<T>,
+    ) -> io::Result<T> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.wal.wedged {
+            return Err(io::Error::other(
+                "durable map wedged by an earlier I/O error; reopen the directory to recover",
+            ));
+        }
+        let result = f(self, &mut inner);
+        if result.is_err() {
+            inner.wal.wedged = true;
+        }
+        result
+    }
+
+    /// Fsyncs the active segment, advancing the durable mark over every
+    /// pending record.  Caller holds the lock.
+    fn fsync_wal(&self, wal: &mut Wal) -> io::Result<()> {
+        if wal.pending == 0 {
+            return Ok(());
+        }
+        wal.log.sync()?;
+        self.metrics.fsyncs.inc();
+        self.metrics.group_size.record(wal.pending);
+        wal.pending = 0;
+        self.metrics.durable_seq.set_max(wal.appended_seq);
+        Ok(())
+    }
+
+    /// Takes and commits a key-value snapshot, then truncates the log.
+    /// Caller holds the lock, so the backend's contents *are* the state
+    /// at `appended_seq` — no combiner race to reason about.
+    fn snapshot_inner(&self, inner: &mut MapInner<M>) -> io::Result<u64> {
+        self.fsync_wal(&mut inner.wal)?;
+        let entries = inner.map.collect_entries();
+        let (keys, vals): (Vec<K>, Vec<V>) = entries.into_iter().unzip();
+        let snap_seq = inner.wal.appended_seq;
+        let name = write_kv_snapshot(&self.dir, snap_seq, &keys, &vals)?;
+        commit_manifest(&self.dir, snap_seq, &name)?;
+        self.metrics.snapshots.inc();
+        self.metrics.snapshot_seq.set(snap_seq);
+        self.metrics.durable_seq.set_max(snap_seq);
+
+        let survivors = list_segments(&self.dir)?;
+        let wal = &mut inner.wal;
+        let next = wal.next_name().max(snap_seq + 1);
+        wal.log.rotate(next)?;
+        wal.last_name = next;
+        self.metrics.segments_created.inc();
+        let active = log::segment_path(&self.dir, next);
+        for (_, path) in survivors {
+            if path != active {
+                std::fs::remove_file(&path)?;
+                self.metrics.segments_deleted.inc();
+            }
+        }
+        remove_stale_snapshots(&self.dir, &snapshot_path(&self.dir, snap_seq))?;
+        log::sync_dir(&self.dir)?;
+        wal.since_snapshot = 0;
+        Ok(snap_seq)
+    }
+}
+
+impl<K, V, M> Drop for DurableMap<K, V, M>
+where
+    K: Ord + Clone + KeyCodec,
+    V: Clone + KeyCodec,
+    M: BatchedMap<K, V>,
+{
+    fn drop(&mut self) {
+        let Ok(mut inner) = self.inner.lock() else {
+            return;
+        };
+        if inner.wal.wedged {
+            return;
+        }
+        let _ = self.fsync_wal(&mut inner.wal);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbist::IstMap;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_ID: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let id = DIR_ID.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "durable-map-test-{}-{tag}-{id}",
+            std::process::id()
+        ))
+    }
+
+    fn open(dir: &Path, options: DurableOptions) -> DurableMap<u64, u64, IstMap<u64, u64>> {
+        DurableMap::open(dir, options, |batch| IstMap::from_kv_batch(&batch)).unwrap()
+    }
+
+    #[test]
+    fn fresh_open_write_reopen_recovers_values() {
+        let dir = scratch_dir("basic");
+        let map = open(&dir, DurableOptions::default());
+        assert!(map.is_empty());
+        assert!(map.insert(3, 30).unwrap());
+        assert!(map.insert(1, 10).unwrap());
+        // Upsert: replaces the value, reports not-new, still logs.
+        assert!(!map.insert(3, 33).unwrap());
+        assert!(map.remove(&1).unwrap());
+        assert!(!map.remove(&1).unwrap());
+        assert_eq!(map.get(&3), Some(33));
+        map.close().unwrap();
+
+        let map = open(&dir, DurableOptions::default());
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.get(&3), Some(33), "the upserted value must survive");
+        assert_eq!(map.get(&1), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batches_recover_with_last_wins_values() {
+        let dir = scratch_dir("batch");
+        let map = open(&dir, DurableOptions::default());
+        let ins = KvBatch::from_unsorted((0..100u64).map(|i| (i, i * 2)).collect());
+        assert!(map.batch_insert_kv(&ins).unwrap().iter().all(|&b| b));
+        let over = KvBatch::from_unsorted((0..50u64).map(|i| (i * 2, 9_000 + i)).collect());
+        let flags = map.batch_insert_kv(&over).unwrap();
+        assert!(flags.iter().all(|&b| !b), "overwrites are not new");
+        let rem = Batch::from_unsorted((0..20u64).map(|i| i * 5).collect());
+        assert!(map.batch_remove(&rem).unwrap().iter().all(|&b| b));
+        map.close().unwrap();
+
+        let map = open(&dir, DurableOptions::default());
+        assert_eq!(map.len(), 80);
+        for i in 0..100u64 {
+            let expect = if i % 5 == 0 {
+                None
+            } else if i % 2 == 0 {
+                Some(9_000 + i / 2)
+            } else {
+                Some(i * 2)
+            };
+            assert_eq!(map.get(&i), expect, "key {i}");
+        }
+        drop(map);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn noop_removes_and_reads_write_no_records() {
+        let dir = scratch_dir("noop");
+        let map = open(&dir, DurableOptions::default());
+        map.insert(5, 50).unwrap();
+        let before = map.metrics().counter("durable.records_appended").unwrap();
+        assert_eq!(map.get(&5), Some(50));
+        assert!(!map.remove(&99).unwrap());
+        assert!(map.batch_get(&Batch::from_unsorted(vec![5, 6])).len() == 2);
+        let after = map.metrics().counter("durable.records_appended").unwrap();
+        assert_eq!(before, after, "no state change, no WAL record");
+        drop(map);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_truncates_and_recovery_replays_only_the_tail() {
+        let dir = scratch_dir("snap");
+        let map = open(&dir, DurableOptions::default());
+        for k in 0..200u64 {
+            map.insert(k, k + 1).unwrap();
+        }
+        let snap_seq = map.snapshot().unwrap();
+        assert_eq!(snap_seq, 200);
+        assert_eq!(list_segments(&dir).unwrap().len(), 1);
+        for k in 200..230u64 {
+            map.insert(k, k + 1).unwrap();
+        }
+        map.close().unwrap();
+
+        let map = open(&dir, DurableOptions::default());
+        assert_eq!(map.len(), 230);
+        assert_eq!(map.get(&150), Some(151), "snapshotted value");
+        assert_eq!(map.get(&229), Some(230), "replayed value");
+        let m = map.metrics();
+        assert_eq!(m.gauge("durable.snapshot_seq"), Some(snap_seq));
+        let replayed = m.histogram("durable.recovery_replayed").unwrap();
+        assert_eq!(replayed.sum, 30, "only the post-snapshot tail replays");
+        drop(map);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn automatic_snapshots_and_rotation_keep_every_value() {
+        let dir = scratch_dir("auto");
+        let map = open(
+            &dir,
+            DurableOptions {
+                snapshot_every: 25,
+                segment_bytes: 64,
+                ..DurableOptions::default()
+            },
+        );
+        for k in 0..90u64 {
+            map.insert(k, k * 7).unwrap();
+        }
+        assert_eq!(map.metrics().counter("durable.snapshots"), Some(3));
+        drop(map);
+        let map = open(&dir, DurableOptions::default());
+        assert_eq!(map.len(), 90);
+        assert_eq!(map.get(&89), Some(89 * 7));
+        drop(map);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn set_dialect_segments_are_rejected_not_replayed() {
+        let dir = scratch_dir("dialect");
+        let map = open(
+            &dir,
+            DurableOptions {
+                group_commit: 1,
+                ..DurableOptions::default()
+            },
+        );
+        map.insert(1, 100).unwrap();
+        drop(map);
+        // Plant a *set*-dialect segment after the map's segments: its
+        // version-1 magic must tear at offset zero (and be deleted), not
+        // replay keys with invented values.
+        let planted = log::segment_path(&dir, 1_000);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(crate::log::SEGMENT_MAGIC);
+        crate::record::encode_record(1_000, &[(crate::record::WalOp::Insert, &7u64)], &mut buf);
+        std::fs::write(&planted, &buf).unwrap();
+
+        let map = open(&dir, DurableOptions::default());
+        assert_eq!(
+            map.metrics().counter("durable.torn_tails"),
+            Some(1),
+            "the set-dialect segment must read as damage"
+        );
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.get(&1), Some(100));
+        assert_eq!(map.get(&7), None, "no value was invented for key 7");
+        assert!(!planted.exists(), "recovery deletes the foreign segment");
+        drop(map);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_gates_the_durable_mark() {
+        let dir = scratch_dir("group");
+        let map = open(
+            &dir,
+            DurableOptions {
+                group_commit: 8,
+                ..DurableOptions::default()
+            },
+        );
+        for k in 0..20u64 {
+            map.insert(k, k).unwrap();
+        }
+        let m = map.metrics();
+        assert_eq!(m.counter("durable.records_appended"), Some(20));
+        assert_eq!(m.counter("durable.fsyncs"), Some(2));
+        assert!(map.durable_seq() < m.gauge("durable.appended_seq").unwrap());
+        let durable = map.sync().unwrap();
+        assert_eq!(durable, 20);
+        drop(map);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -31,9 +31,13 @@ pub(crate) const RECORD_HEADER: usize = 4 + 8;
 pub(crate) const MAX_PAYLOAD: usize = 256 << 20;
 
 /// Op kind tags on the wire.  `Contains` has no tag: read-only ops are
-/// stripped before encoding.
+/// stripped before encoding.  `KIND_INSERT_KV` (a key *and* a value)
+/// appears only in version-2 (map) segments; each codec rejects the other
+/// family's kinds as [`DecodeOutcome::Torn`], so a set log replayed as a
+/// map (or vice versa) tears instead of mis-decoding.
 const KIND_INSERT: u8 = 0;
 const KIND_REMOVE: u8 = 1;
+const KIND_INSERT_KV: u8 = 2;
 
 /// FNV-1a 64-bit over `bytes` — tiny, allocation-free, std-only, and
 /// plenty to catch torn writes and bit rot (this guards against crashes,
@@ -91,14 +95,86 @@ pub(crate) fn encode_record<K: KeyCodec>(seq: u64, ops: &[(WalOp, &K)], buf: &mu
     buf[header_at + 4..header_at + 12].copy_from_slice(&checksum.to_le_bytes());
 }
 
-/// What decoding found at one offset.
+/// One decoded *map* mutation: upserts carry their value payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum WalMapOp<K, V> {
+    /// The round upserted this key to this value (logged even when the key
+    /// was already present — the value may have changed, and replaying an
+    /// unchanged upsert is idempotent).
+    InsertKv(K, V),
+    /// The round removed this key.
+    Remove(K),
+}
+
+/// Borrowed form of [`WalMapOp`] for encoding without cloning payloads.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum WalMapOpRef<'a, K, V> {
+    /// Upsert `key -> value`.
+    InsertKv(&'a K, &'a V),
+    /// Remove `key`.
+    Remove(&'a K),
+}
+
+/// One decoded map-WAL record (version-2 segments).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct WalMapRecord<K, V> {
+    pub(crate) seq: u64,
+    pub(crate) ops: Vec<WalMapOp<K, V>>,
+}
+
+/// Appends one encoded map record for `(seq, ops)` to `buf`.  Same frame
+/// as [`encode_record`]; the body interleaves fixed-width ops of two
+/// kinds, so op width is keyed off the kind byte at decode.
+pub(crate) fn encode_map_record<K: KeyCodec, V: KeyCodec>(
+    seq: u64,
+    ops: &[WalMapOpRef<'_, K, V>],
+    buf: &mut Vec<u8>,
+) {
+    let payload_len = 8
+        + 4
+        + ops
+            .iter()
+            .map(|op| match op {
+                WalMapOpRef::InsertKv(..) => 1 + K::WIDTH + V::WIDTH,
+                WalMapOpRef::Remove(..) => 1 + K::WIDTH,
+            })
+            .sum::<usize>();
+    buf.reserve(RECORD_HEADER + payload_len);
+    let header_at = buf.len();
+    buf.extend_from_slice(&[0u8; RECORD_HEADER]);
+    let payload_at = buf.len();
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for op in ops {
+        match op {
+            WalMapOpRef::InsertKv(key, val) => {
+                buf.push(KIND_INSERT_KV);
+                let at = buf.len();
+                buf.resize(at + K::WIDTH + V::WIDTH, 0);
+                key.encode(&mut buf[at..at + K::WIDTH]);
+                val.encode(&mut buf[at + K::WIDTH..at + K::WIDTH + V::WIDTH]);
+            }
+            WalMapOpRef::Remove(key) => {
+                buf.push(KIND_REMOVE);
+                let at = buf.len();
+                buf.resize(at + K::WIDTH, 0);
+                key.encode(&mut buf[at..at + K::WIDTH]);
+            }
+        }
+    }
+    debug_assert_eq!(buf.len() - payload_at, payload_len);
+    let checksum = fnv1a(&buf[payload_at..]);
+    buf[header_at..header_at + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    buf[header_at + 4..header_at + 12].copy_from_slice(&checksum.to_le_bytes());
+}
+
+/// What decoding found at one offset.  `R` is the decoded record type —
+/// [`WalRecord`] for set (version-1) segments, [`WalMapRecord`] for map
+/// (version-2) segments.
 #[derive(Debug, PartialEq, Eq)]
-pub(crate) enum DecodeOutcome<K> {
+pub(crate) enum DecodeOutcome<R> {
     /// A valid record; `consumed` bytes advance the cursor past it.
-    Record {
-        record: WalRecord<K>,
-        consumed: usize,
-    },
+    Record { record: R, consumed: usize },
     /// The buffer ends exactly here — a cleanly-terminated log.
     Clean,
     /// The bytes from this offset on are not a valid record (torn final
@@ -106,26 +182,45 @@ pub(crate) enum DecodeOutcome<K> {
     Torn,
 }
 
-/// Decodes the record starting at `buf[at..]`.
-pub(crate) fn decode_record<K: KeyCodec>(buf: &[u8], at: usize) -> DecodeOutcome<K> {
+/// Validates the common frame (header, plausible length, checksum) and
+/// returns the payload slice, or the non-record outcome.
+fn frame(buf: &[u8], at: usize) -> Result<&[u8], DecodeOutcome<std::convert::Infallible>> {
     let rest = &buf[at..];
     if rest.is_empty() {
-        return DecodeOutcome::Clean;
+        return Err(DecodeOutcome::Clean);
     }
     if rest.len() < RECORD_HEADER {
-        return DecodeOutcome::Torn;
+        return Err(DecodeOutcome::Torn);
     }
     let payload_len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
     let checksum = u64::from_le_bytes(rest[4..12].try_into().unwrap());
     if !(8 + 4..=MAX_PAYLOAD).contains(&payload_len) {
-        return DecodeOutcome::Torn;
+        return Err(DecodeOutcome::Torn);
     }
     let Some(payload) = rest.get(RECORD_HEADER..RECORD_HEADER + payload_len) else {
-        return DecodeOutcome::Torn;
+        return Err(DecodeOutcome::Torn);
     };
     if fnv1a(payload) != checksum {
-        return DecodeOutcome::Torn;
+        return Err(DecodeOutcome::Torn);
     }
+    Ok(payload)
+}
+
+/// Maps the non-record outcome of [`frame`] into any record type.
+fn other<R>(outcome: DecodeOutcome<std::convert::Infallible>) -> DecodeOutcome<R> {
+    match outcome {
+        DecodeOutcome::Clean => DecodeOutcome::Clean,
+        DecodeOutcome::Torn => DecodeOutcome::Torn,
+        DecodeOutcome::Record { .. } => unreachable!("frame never yields a record"),
+    }
+}
+
+/// Decodes the set record starting at `buf[at..]`.
+pub(crate) fn decode_record<K: KeyCodec>(buf: &[u8], at: usize) -> DecodeOutcome<WalRecord<K>> {
+    let payload = match frame(buf, at) {
+        Ok(payload) => payload,
+        Err(outcome) => return other(outcome),
+    };
     let seq = u64::from_le_bytes(payload[0..8].try_into().unwrap());
     let n_ops = u32::from_le_bytes(payload[8..12].try_into().unwrap()) as usize;
     let body = &payload[12..];
@@ -137,13 +232,70 @@ pub(crate) fn decode_record<K: KeyCodec>(buf: &[u8], at: usize) -> DecodeOutcome
         let op = match chunk[0] {
             KIND_INSERT => WalOp::Insert,
             KIND_REMOVE => WalOp::Remove,
+            // KIND_INSERT_KV included: a value-bearing record in a set log
+            // is damage, not data.
             _ => return DecodeOutcome::Torn,
         };
         ops.push((op, K::decode(&chunk[1..])));
     }
     DecodeOutcome::Record {
         record: WalRecord { seq, ops },
-        consumed: RECORD_HEADER + payload_len,
+        consumed: RECORD_HEADER + payload.len(),
+    }
+}
+
+/// Decodes the map record starting at `buf[at..]`.  Ops are
+/// variable-width (the kind byte decides whether a value follows the
+/// key), so the body is walked with a cursor; any unknown kind — the
+/// set-only `KIND_INSERT` among them — or a body that does not end
+/// exactly at the declared op count reads as [`DecodeOutcome::Torn`].
+pub(crate) fn decode_map_record<K: KeyCodec, V: KeyCodec>(
+    buf: &[u8],
+    at: usize,
+) -> DecodeOutcome<WalMapRecord<K, V>> {
+    let payload = match frame(buf, at) {
+        Ok(payload) => payload,
+        Err(outcome) => return other(outcome),
+    };
+    let seq = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+    let n_ops = u32::from_le_bytes(payload[8..12].try_into().unwrap()) as usize;
+    let body = &payload[12..];
+    let mut ops = Vec::with_capacity(n_ops.min(body.len()));
+    let mut cursor = 0usize;
+    for _ in 0..n_ops {
+        let Some(&kind) = body.get(cursor) else {
+            return DecodeOutcome::Torn;
+        };
+        cursor += 1;
+        match kind {
+            KIND_INSERT_KV => {
+                let Some(bytes) = body.get(cursor..cursor + K::WIDTH + V::WIDTH) else {
+                    return DecodeOutcome::Torn;
+                };
+                ops.push(WalMapOp::InsertKv(
+                    K::decode(&bytes[..K::WIDTH]),
+                    V::decode(&bytes[K::WIDTH..]),
+                ));
+                cursor += K::WIDTH + V::WIDTH;
+            }
+            KIND_REMOVE => {
+                let Some(bytes) = body.get(cursor..cursor + K::WIDTH) else {
+                    return DecodeOutcome::Torn;
+                };
+                ops.push(WalMapOp::Remove(K::decode(bytes)));
+                cursor += K::WIDTH;
+            }
+            // Unknown kinds — the keys-only KIND_INSERT among them — are
+            // rejected: a map replay must never invent a value.
+            _ => return DecodeOutcome::Torn,
+        }
+    }
+    if cursor != body.len() {
+        return DecodeOutcome::Torn;
+    }
+    DecodeOutcome::Record {
+        record: WalMapRecord { seq, ops },
+        consumed: RECORD_HEADER + payload.len(),
     }
 }
 
@@ -224,6 +376,92 @@ mod tests {
         let mut buf = vec![0u8; RECORD_HEADER];
         buf[0..4].copy_from_slice(&(u32::MAX).to_le_bytes());
         assert_eq!(decode_record::<u64>(&buf, 0), DecodeOutcome::Torn);
+    }
+
+    fn kv_roundtrip(seq: u64, ops: &[WalMapOp<u64, u64>]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let borrowed: Vec<WalMapOpRef<'_, u64, u64>> = ops
+            .iter()
+            .map(|op| match op {
+                WalMapOp::InsertKv(k, v) => WalMapOpRef::InsertKv(k, v),
+                WalMapOp::Remove(k) => WalMapOpRef::Remove(k),
+            })
+            .collect();
+        encode_map_record(seq, &borrowed, &mut buf);
+        buf
+    }
+
+    #[test]
+    fn map_records_round_trip_with_values() {
+        let ops = vec![
+            WalMapOp::InsertKv(7u64, 700u64),
+            WalMapOp::Remove(9),
+            WalMapOp::InsertKv(u64::MAX, 0),
+        ];
+        let buf = kv_roundtrip(13, &ops);
+        match decode_map_record::<u64, u64>(&buf, 0) {
+            DecodeOutcome::Record { record, consumed } => {
+                assert_eq!(consumed, buf.len());
+                assert_eq!(record.seq, 13);
+                assert_eq!(record.ops, ops);
+            }
+            other => panic!("expected a record, got {other:?}"),
+        }
+        assert_eq!(
+            decode_map_record::<u64, u64>(&buf, buf.len()),
+            DecodeOutcome::Clean
+        );
+    }
+
+    #[test]
+    fn map_truncations_and_flips_read_as_torn() {
+        let buf = kv_roundtrip(3, &[WalMapOp::InsertKv(1, 2), WalMapOp::Remove(3)]);
+        for cut in 1..buf.len() {
+            assert_eq!(
+                decode_map_record::<u64, u64>(&buf[..cut], 0),
+                DecodeOutcome::Torn,
+                "prefix of {cut} bytes"
+            );
+        }
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x01;
+            assert_eq!(
+                decode_map_record::<u64, u64>(&bad, 0),
+                DecodeOutcome::Torn,
+                "flip at byte {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn codecs_reject_each_others_kinds() {
+        // A set record (KIND_INSERT, keys only) must not decode as a map
+        // record: the map codec has no value to give kind 0.
+        let set_buf = roundtrip(1, &[(WalOp::Insert, 5)]);
+        assert_eq!(
+            decode_map_record::<u64, u64>(&set_buf, 0),
+            DecodeOutcome::Torn
+        );
+        // And a map upsert (KIND_INSERT_KV) must not decode as a set
+        // record: the set codec does not know the kind.
+        let map_buf = kv_roundtrip(1, &[WalMapOp::InsertKv(5, 50)]);
+        assert_eq!(decode_record::<u64>(&map_buf, 0), DecodeOutcome::Torn);
+        // Removes are the same width in both framings, but the set codec
+        // still rejects the record when any op in it is value-bearing.
+        let mixed = kv_roundtrip(2, &[WalMapOp::Remove(1), WalMapOp::InsertKv(2, 20)]);
+        assert_eq!(decode_record::<u64>(&mixed, 0), DecodeOutcome::Torn);
+    }
+
+    #[test]
+    fn unknown_map_kind_is_torn() {
+        let mut buf = kv_roundtrip(1, &[WalMapOp::Remove(1)]);
+        let kind_at = RECORD_HEADER + 8 + 4;
+        buf[kind_at] = 9;
+        let payload = &buf[RECORD_HEADER..];
+        let sum = fnv1a(payload);
+        buf[4..12].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(decode_map_record::<u64, u64>(&buf, 0), DecodeOutcome::Torn);
     }
 
     #[test]

@@ -25,8 +25,14 @@ use batchapi::KeyCodec;
 use crate::log::sync_dir;
 use crate::record::fnv1a;
 
-/// Identifies a snapshot file (version 1).
+/// Identifies a keys-only (set) snapshot file (version 1).
 const SNAP_MAGIC: &[u8; 8] = b"PBSNAP\x00\x01";
+
+/// Identifies a key-value (map) snapshot file (version 2): each entry is
+/// `K::WIDTH` key bytes followed by `V::WIDTH` value bytes.  The bumped
+/// magic keeps a map snapshot from loading as a set snapshot (or vice
+/// versa) — the loaders reject the other family's files as corrupt.
+const KV_SNAP_MAGIC: &[u8; 8] = b"PBSNAP\x00\x02";
 
 /// Identifies the manifest (version 1).
 const MANIFEST_MAGIC: &[u8; 8] = b"PBMANI\x00\x01";
@@ -104,6 +110,77 @@ pub(crate) fn load_snapshot<K: KeyCodec + Ord>(path: &Path) -> io::Result<(u64, 
         keys.push(key);
     }
     Ok((seq, keys))
+}
+
+/// Writes and fsyncs the key-value snapshot of `keys -> vals` (keys must
+/// be strictly ascending, `vals` parallel to them) taken at `seq`;
+/// returns its file name.  The map-tier sibling of [`write_snapshot`].
+pub(crate) fn write_kv_snapshot<K: KeyCodec, V: KeyCodec>(
+    dir: &Path,
+    seq: u64,
+    keys: &[K],
+    vals: &[V],
+) -> io::Result<String> {
+    debug_assert_eq!(keys.len(), vals.len());
+    let entry = K::WIDTH + V::WIDTH;
+    let mut buf = Vec::with_capacity(8 + 8 + 8 + keys.len() * entry + 8);
+    buf.extend_from_slice(KV_SNAP_MAGIC);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&(keys.len() as u64).to_le_bytes());
+    for (key, val) in keys.iter().zip(vals) {
+        let at = buf.len();
+        buf.resize(at + entry, 0);
+        key.encode(&mut buf[at..at + K::WIDTH]);
+        val.encode(&mut buf[at + K::WIDTH..at + entry]);
+    }
+    let checksum = fnv1a(&buf[KV_SNAP_MAGIC.len()..]);
+    buf.extend_from_slice(&checksum.to_le_bytes());
+
+    let path = snapshot_path(dir, seq);
+    let mut file = File::create(&path)?;
+    file.write_all(&buf)?;
+    file.sync_all()?;
+    sync_dir(dir)?;
+    Ok(snapshot_name(seq))
+}
+
+/// Loads and verifies the key-value snapshot at `path`, returning
+/// `(seq, keys, vals)` with `vals` parallel to the strictly-ascending
+/// `keys`.
+pub(crate) fn load_kv_snapshot<K: KeyCodec + Ord, V: KeyCodec>(
+    path: &Path,
+) -> io::Result<(u64, Vec<K>, Vec<V>)> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    let header = KV_SNAP_MAGIC.len() + 8 + 8;
+    if buf.len() < header + 8 || &buf[..KV_SNAP_MAGIC.len()] != KV_SNAP_MAGIC {
+        return Err(corrupt("kv snapshot", path));
+    }
+    let body = &buf[KV_SNAP_MAGIC.len()..buf.len() - 8];
+    let stored = u64::from_le_bytes(buf[buf.len() - 8..].try_into().unwrap());
+    if fnv1a(body) != stored {
+        return Err(corrupt("kv snapshot", path));
+    }
+    let seq = u64::from_le_bytes(body[0..8].try_into().unwrap());
+    let count = u64::from_le_bytes(body[8..16].try_into().unwrap()) as usize;
+    let entry = K::WIDTH + V::WIDTH;
+    let entry_bytes = &body[16..];
+    if entry_bytes.len() != count * entry {
+        return Err(corrupt("kv snapshot", path));
+    }
+    let mut keys = Vec::with_capacity(count);
+    let mut vals = Vec::with_capacity(count);
+    for chunk in entry_bytes.chunks_exact(entry) {
+        let key = K::decode(&chunk[..K::WIDTH]);
+        if let Some(last) = keys.last() {
+            if *last >= key {
+                return Err(corrupt("kv snapshot (keys not strictly ascending)", path));
+            }
+        }
+        keys.push(key);
+        vals.push(V::decode(&chunk[K::WIDTH..]));
+    }
+    Ok((seq, keys, vals))
 }
 
 /// Atomically commits `snap_name` (taken at `seq`) as the recovery root:
@@ -269,6 +346,31 @@ mod tests {
         fs::write(&path, &buf).unwrap();
         assert_eq!(
             load_snapshot::<u64>(&path).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kv_snapshot_round_trips_and_families_stay_apart() {
+        let dir = scratch_dir("kv");
+        let keys: Vec<u64> = vec![2, 5, 8];
+        let vals: Vec<u64> = vec![20, 50, 80];
+        let name = write_kv_snapshot(&dir, 7, &keys, &vals).unwrap();
+        let path = dir.join(&name);
+        let (seq, k, v) = load_kv_snapshot::<u64, u64>(&path).unwrap();
+        assert_eq!((seq, k, v), (7, keys.clone(), vals));
+        // A kv snapshot must not load as a set snapshot, nor vice versa:
+        // the magics differ.
+        assert_eq!(
+            load_snapshot::<u64>(&path).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        let set_name = write_snapshot(&dir, 9, &keys).unwrap();
+        assert_eq!(
+            load_kv_snapshot::<u64, u64>(&dir.join(set_name))
+                .unwrap_err()
+                .kind(),
             io::ErrorKind::InvalidData
         );
         fs::remove_dir_all(&dir).unwrap();

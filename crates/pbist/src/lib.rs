@@ -12,15 +12,21 @@
 //! # Layout
 //!
 //! * [`node`] — the node representation and the key-interpolation trait
-//!   ([`node::InterpolateKey`]).
+//!   ([`node::InterpolateKey`]).  Nodes are generic over a per-key value
+//!   (`V = ()` for the set), so the set and the map share one structure.
 //! * [`tree`] — [`tree::IstSet`]: bulk parallel construction, interpolated
 //!   point lookups, and the [`batchapi::BatchedSet`] impl.
-//! * `traverse` (internal) — the joint sorted-batch membership traversal:
-//!   partition the batch at each inner node, fork per child.
+//! * [`map`] — [`map::IstMap`]: the key→value instantiation, implementing
+//!   [`batchapi::BatchedMap`] with last-wins batched upserts.
+//! * `traverse` (internal) — the joint sorted-batch membership/lookup
+//!   traversal: partition the batch at each inner node, fork per child.
 //! * `update` (internal) — batched insert/remove: route the batch to the
 //!   leaves in parallel, rebuild touched leaves, propagate router/`min`/
 //!   `max`/`len` updates, and rebuild any subtree whose size drifts past the
 //!   rebuild threshold.
+//! * `range` (internal) — ordered queries: the descend-once range carve
+//!   (binary searches only in the two boundary leaves, interior subtrees
+//!   concatenated wholesale) and the `k`-th-smallest selection descent.
 //!
 //! All batched operations take a [`batchapi::Batch`] — sorted and
 //! deduplicated once at the boundary — and exploit a surrounding
@@ -28,12 +34,15 @@
 
 #![warn(missing_docs)]
 
+pub mod map;
 mod metrics;
 pub mod node;
+mod range;
 mod traverse;
 pub mod tree;
 mod update;
 
+pub use map::IstMap;
 pub use metrics::IstMetricsSnapshot;
 pub use node::InterpolateKey;
 pub use tree::IstSet;

@@ -1,0 +1,537 @@
+//! The interpolation search tree as a key→value map.
+//!
+//! [`IstMap`] instantiates the exact same node structure, joint batched
+//! traversal, and drift-triggered rebuilds as [`crate::IstSet`] — the set is
+//! the `V = ()` special case — with leaves carrying an index-parallel value
+//! array.  Batched upserts follow [`batchapi::BatchedMap`]'s last-wins
+//! duplicate policy (duplicates are already collapsed by
+//! [`batchapi::KvBatch`] construction; a key that is present keeps its slot
+//! and takes the incoming value).
+
+use std::ops::Bound;
+use std::sync::Arc;
+
+use batchapi::{Batch, BatchedMap, KvBatch};
+
+use crate::metrics::{metrics_ref, touch_node, IstMetrics, IstMetricsSnapshot, MetricsRef};
+use crate::node::{InterpolateKey, LeafNode, Node};
+use crate::tree::{check_node, get_in, rank_in};
+use crate::{range, traverse, update};
+
+/// An ordered key→value map stored as an interpolation search tree.
+///
+/// ```
+/// use batchapi::{Batch, BatchedMap, KvBatch};
+///
+/// let mut map = pbist::IstMap::from_unsorted_entries(vec![(5u64, "a"), (1, "b")]);
+/// assert_eq!(map.get(&5), Some("a"));
+/// let newly = map.batch_insert_kv(&KvBatch::from_unsorted(vec![(5, "x"), (9, "y")]));
+/// assert_eq!(newly, vec![false, true]); // 5 was present: value overwritten
+/// assert_eq!(map.get(&5), Some("x"));
+/// assert_eq!(map.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IstMap<K, V> {
+    /// `Arc` for the same copy-on-write snapshot discipline as the set.
+    root: Option<Arc<Node<K, V>>>,
+    /// Gates metric recording, as in [`crate::IstSet`].
+    obs: obs::Obs,
+    /// Work counters, shared across clones.
+    metrics: Arc<IstMetrics>,
+}
+
+impl<K, V> IstMap<K, V> {
+    fn with_root(root: Option<Node<K, V>>) -> IstMap<K, V> {
+        IstMap {
+            root: root.map(Arc::new),
+            obs: obs::Obs::disabled(),
+            metrics: Arc::new(IstMetrics::default()),
+        }
+    }
+
+    /// Turns work-counter collection on or off (see
+    /// [`crate::IstSet::with_metrics`]).
+    pub fn with_metrics(mut self, enabled: bool) -> IstMap<K, V> {
+        self.obs = obs::Obs::new(enabled);
+        self
+    }
+
+    /// Snapshot of the map's work counters.
+    pub fn metrics(&self) -> IstMetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    fn obs_metrics(&self) -> MetricsRef<'_> {
+        metrics_ref(self.obs, &self.metrics)
+    }
+}
+
+impl<K, V> IstMap<K, V>
+where
+    K: InterpolateKey + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// Builds a map from entries whose keys are already strictly increasing
+    /// (checked with a `debug_assert!`).
+    pub fn from_sorted_entries(entries: Vec<(K, V)>) -> IstMap<K, V> {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "keys must be strictly increasing"
+        );
+        if entries.is_empty() {
+            return IstMap::with_root(None);
+        }
+        let (keys, vals): (Vec<K>, Vec<V>) = entries.into_iter().unzip();
+        IstMap::with_root(Some(crate::tree::build(&keys, &vals)))
+    }
+
+    /// Builds a map from arbitrary entries; sorts by key and collapses
+    /// duplicates last-wins (the [`KvBatch`] policy).
+    pub fn from_unsorted_entries(entries: Vec<(K, V)>) -> IstMap<K, V> {
+        IstMap::from_kv_batch(&KvBatch::from_unsorted(entries))
+    }
+
+    /// Builds a map holding the pairs of `batch` (already sorted and
+    /// deduplicated by construction).
+    pub fn from_kv_batch(batch: &KvBatch<K, V>) -> IstMap<K, V> {
+        if batch.is_empty() {
+            return IstMap::with_root(None);
+        }
+        IstMap::with_root(Some(crate::tree::build(batch.keys(), batch.vals())))
+    }
+
+    /// Number of pairs in the map.
+    pub fn len(&self) -> usize {
+        self.root.as_ref().map_or(0, |root| root.len())
+    }
+
+    /// Returns `true` when the map holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// The value stored under `key`, descending by interpolation.
+    pub fn get(&self, key: &K) -> Option<V> {
+        match &self.root {
+            Some(root) => get_in(root, key, self.obs_metrics()),
+            None => None,
+        }
+    }
+
+    /// Returns `true` when `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        match &self.root {
+            Some(root) => crate::tree::contains_in(root, key, self.obs_metrics()),
+            None => false,
+        }
+    }
+
+    /// The smallest key, or `None` for an empty map.
+    pub fn min(&self) -> Option<&K> {
+        self.root.as_ref().map(|root| root.min_key())
+    }
+
+    /// The largest key, or `None` for an empty map.
+    pub fn max(&self) -> Option<&K> {
+        self.root.as_ref().map(|root| root.max_key())
+    }
+
+    /// Verifies the tree's shape invariants (including the
+    /// `vals.len() == keys.len()` leaf invariant); see
+    /// [`crate::IstSet::check_invariants`].
+    pub fn check_invariants(&self) -> Result<(), String> {
+        match &self.root {
+            None => Ok(()),
+            Some(root) if root.is_empty() => Err("empty root was not pruned to None".into()),
+            Some(root) => check_node(root),
+        }
+    }
+}
+
+impl<K, V> BatchedMap<K, V> for IstMap<K, V>
+where
+    K: InterpolateKey + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn len(&self) -> usize {
+        IstMap::len(self)
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        IstMap::get(self, key)
+    }
+
+    fn contains_key(&self, key: &K) -> bool {
+        IstMap::contains_key(self, key)
+    }
+
+    fn rank(&self, key: &K) -> usize {
+        match &self.root {
+            Some(root) => rank_in(root, key, self.obs_metrics()),
+            None => 0,
+        }
+    }
+
+    fn batch_get(&self, batch: &Batch<K>) -> Vec<Option<V>> {
+        let mut out: Vec<Option<V>> = Vec::new();
+        if batch.is_empty() {
+            return out;
+        }
+        let root = match &self.root {
+            Some(root) => root,
+            None => {
+                out.resize(batch.len(), None);
+                return out;
+            }
+        };
+        // Tiny batches: point lookups beat the joint traversal's per-node
+        // scratch, exactly as in the set's report path.
+        if batch.len() <= update::POINT_BATCH_LEN {
+            out.extend(batch.iter().map(|q| self.get(q)));
+            return out;
+        }
+        out.reserve(batch.len());
+        traverse::batch_get_into(
+            root,
+            batch.as_slice(),
+            &mut out.spare_capacity_mut()[..batch.len()],
+            self.obs_metrics(),
+        );
+        // SAFETY: the traversal writes every one of the first `batch.len()`
+        // slots exactly once (children cover disjoint batch segments).
+        unsafe { out.set_len(batch.len()) };
+        out
+    }
+
+    fn batch_insert_kv(&mut self, batch: &KvBatch<K, V>) -> Vec<bool> {
+        let mut out: Vec<bool> = Vec::new();
+        if batch.is_empty() {
+            return out;
+        }
+        let root = match &mut self.root {
+            Some(root) => Arc::make_mut(root),
+            None => {
+                let built = crate::tree::build(batch.keys(), batch.vals());
+                self.root = Some(Arc::new(built));
+                out.resize(batch.len(), true);
+                return out;
+            }
+        };
+        let m = metrics_ref(self.obs, &self.metrics);
+        if batch.len() <= update::POINT_BATCH_LEN {
+            out.extend(batch.iter().map(|(q, v)| update::insert_one(root, q, v, m)));
+            return out;
+        }
+        out.reserve(batch.len());
+        update::insert_into(
+            root,
+            batch.keys(),
+            batch.vals(),
+            &mut out.spare_capacity_mut()[..batch.len()],
+            m,
+        );
+        // SAFETY: as in `batch_get` — every flag slot written once.
+        unsafe { out.set_len(batch.len()) };
+        out
+    }
+
+    fn batch_remove(&mut self, batch: &Batch<K>) -> Vec<bool> {
+        let mut out: Vec<bool> = Vec::new();
+        if batch.is_empty() {
+            return out;
+        }
+        let root = match &mut self.root {
+            Some(root) => Arc::make_mut(root),
+            None => {
+                out.resize(batch.len(), false);
+                return out;
+            }
+        };
+        let m = metrics_ref(self.obs, &self.metrics);
+        if batch.len() <= update::POINT_BATCH_LEN {
+            out.extend(batch.iter().map(|q| update::remove_one(root, q, m)));
+        } else {
+            out.reserve(batch.len());
+            update::remove_from(
+                root,
+                batch.as_slice(),
+                &mut out.spare_capacity_mut()[..batch.len()],
+                m,
+            );
+            // SAFETY: as in `batch_get` — every flag slot written once.
+            unsafe { out.set_len(batch.len()) };
+        }
+        if root.is_empty() {
+            self.root = None;
+        }
+        out
+    }
+
+    fn collect_entries(&self) -> Vec<(K, V)> {
+        match &self.root {
+            Some(root) => {
+                let (keys, vals) = update::collect_kv(root);
+                keys.into_iter().zip(vals).collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn range_entries(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V)> {
+        match &self.root {
+            Some(root) => {
+                touch_node(self.obs_metrics());
+                let mut entries = Vec::new();
+                range::range_for_each(root, lo, hi, &mut |k: &K, v: &V| {
+                    entries.push((k.clone(), v.clone()))
+                });
+                entries
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn range_keys(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K> {
+        match &self.root {
+            Some(root) => {
+                touch_node(self.obs_metrics());
+                let mut keys = Vec::new();
+                range::range_for_each(root, lo, hi, &mut |k: &K, _v: &V| keys.push(k.clone()));
+                keys
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn kth(&self, k: usize) -> Option<(K, V)> {
+        match &self.root {
+            Some(root) if k < root.len() => {
+                touch_node(self.obs_metrics());
+                let (key, val) = range::kth_entry(root, k);
+                Some((key.clone(), val.clone()))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Point-op conveniences mirroring the set's `insert_one`/`remove_one`.
+impl<K, V> IstMap<K, V>
+where
+    K: InterpolateKey + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// Upserts one pair in place; `true` iff `key` was newly inserted.
+    pub fn insert_one(&mut self, key: &K, val: &V) -> bool {
+        let m = metrics_ref(self.obs, &self.metrics);
+        match &mut self.root {
+            Some(root) => update::insert_one(Arc::make_mut(root), key, val, m),
+            None => {
+                self.root = Some(Arc::new(Node::Leaf(LeafNode {
+                    keys: vec![key.clone()],
+                    vals: vec![val.clone()],
+                })));
+                true
+            }
+        }
+    }
+
+    /// Removes one pair in place; `true` iff `key` was present.
+    pub fn remove_one(&mut self, key: &K) -> bool {
+        let m = metrics_ref(self.obs, &self.metrics);
+        let root = match &mut self.root {
+            Some(root) => Arc::make_mut(root),
+            None => return false,
+        };
+        let removed = update::remove_one(root, key, m);
+        if root.is_empty() {
+            self.root = None;
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn oracle_pairs(n: u64) -> Vec<(u64, u64)> {
+        (0..n).map(|i| (i * 7 % (n * 3), i)).collect()
+    }
+
+    #[test]
+    fn empty_map_answers_empty() {
+        let map: IstMap<u64, u64> = IstMap::from_sorted_entries(Vec::new());
+        assert!(map.is_empty());
+        assert_eq!(map.get(&3), None);
+        assert_eq!(map.rank(&3), 0);
+        assert_eq!(map.kth(0), None);
+        assert!(map
+            .range_entries(Bound::Unbounded, Bound::Unbounded)
+            .is_empty());
+        map.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn map_agrees_with_btreemap_oracle() {
+        let pairs = oracle_pairs(20_000);
+        let oracle: BTreeMap<u64, u64> = pairs.iter().copied().collect();
+        // Last-wins: feed the raw (colliding) pairs; BTreeMap's collect is
+        // also last-wins, so the two agree by construction.
+        let map = IstMap::from_unsorted_entries(pairs);
+        assert_eq!(map.len(), oracle.len());
+        map.check_invariants().unwrap();
+        for probe in (0..70_000u64).step_by(61) {
+            assert_eq!(map.get(&probe), oracle.get(&probe).copied(), "get {probe}");
+            assert_eq!(
+                map.contains_key(&probe),
+                oracle.contains_key(&probe),
+                "contains {probe}"
+            );
+        }
+        assert_eq!(map.collect_entries().len(), oracle.len());
+        assert!(map
+            .collect_entries()
+            .iter()
+            .all(|(k, v)| oracle.get(k) == Some(v)));
+    }
+
+    #[test]
+    fn batched_upserts_and_removes_match_oracle() {
+        let mut map = IstMap::from_unsorted_entries(oracle_pairs(5_000));
+        let mut oracle: BTreeMap<u64, u64> = oracle_pairs(5_000).into_iter().collect();
+
+        // Large upsert batch: half overwrites, half fresh keys.
+        let upserts: Vec<(u64, u64)> = (0..4_000u64).map(|i| (i * 5, i + 1_000_000)).collect();
+        let batch = KvBatch::from_unsorted(upserts.clone());
+        let flags = map.batch_insert_kv(&batch);
+        for ((k, v), flag) in batch.iter().zip(flags.iter()) {
+            assert_eq!(*flag, oracle.insert(*k, *v).is_none(), "upsert {k}");
+        }
+        assert_eq!(map.len(), oracle.len());
+        map.check_invariants().unwrap();
+        for (k, v) in batch.iter() {
+            assert_eq!(map.get(k), Some(*v), "upserted value for {k}");
+        }
+
+        // batch_get over a mix of present and absent keys.
+        let probes = Batch::from_unsorted((0..6_000u64).map(|i| i * 3).collect());
+        let got = map.batch_get(&probes);
+        for (q, g) in probes.iter().zip(got.iter()) {
+            assert_eq!(*g, oracle.get(q).copied(), "batch_get {q}");
+        }
+
+        // Large removal batch, then verify against the oracle.
+        let removes = Batch::from_unsorted((0..5_000u64).map(|i| i * 2).collect());
+        let flags = map.batch_remove(&removes);
+        for (q, flag) in removes.iter().zip(flags.iter()) {
+            assert_eq!(*flag, oracle.remove(q).is_some(), "remove {q}");
+        }
+        assert_eq!(map.len(), oracle.len());
+        map.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn point_paths_and_tiny_batches_upsert_in_place() {
+        let mut map: IstMap<u64, &str> = IstMap::from_sorted_entries(Vec::new());
+        assert!(map.insert_one(&10, &"ten"));
+        assert!(!map.insert_one(&10, &"TEN"), "upsert reports not-new");
+        assert_eq!(map.get(&10), Some("TEN"), "point upsert overwrote");
+        // Tiny batch (≤ POINT_BATCH_LEN) routes through the point path.
+        let flags = map.batch_insert_kv(&KvBatch::from_unsorted(vec![(10, "x"), (11, "y")]));
+        assert_eq!(flags, vec![false, true]);
+        assert_eq!(map.get(&10), Some("x"));
+        assert!(map.remove_one(&10));
+        assert!(!map.remove_one(&10));
+        assert_eq!(map.len(), 1);
+        map.check_invariants().unwrap();
+        // Draining the last key collapses the root.
+        assert!(map.remove_one(&11));
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn range_and_selection_match_btreemap() {
+        let pairs: Vec<(u64, u64)> = (0..30_000u64).map(|i| (i * 3, i)).collect();
+        let oracle: BTreeMap<u64, u64> = pairs.iter().copied().collect();
+        let map = IstMap::from_sorted_entries(pairs);
+        map.check_invariants().unwrap();
+
+        let bounds: [Bound<&u64>; 5] = [
+            Bound::Unbounded,
+            Bound::Included(&9_000),
+            Bound::Excluded(&9_000),
+            Bound::Included(&9_001), // off-key
+            Bound::Excluded(&89_999),
+        ];
+        for lo in bounds {
+            for hi in bounds {
+                // BTreeMap::range panics on inverted bounds and on
+                // (Excluded(x), Excluded(x)); the IST returns the honest
+                // answer for both — the empty range.
+                let degenerate = match (lo, hi) {
+                    (
+                        Bound::Included(a) | Bound::Excluded(a),
+                        Bound::Included(b) | Bound::Excluded(b),
+                    ) => {
+                        a > b
+                            || (a == b
+                                && matches!(lo, Bound::Excluded(_))
+                                && matches!(hi, Bound::Excluded(_)))
+                    }
+                    _ => false,
+                };
+                let expected: Vec<(u64, u64)> = if degenerate {
+                    Vec::new()
+                } else {
+                    oracle
+                        .range((lo.cloned(), hi.cloned()))
+                        .map(|(k, v)| (*k, *v))
+                        .collect()
+                };
+                assert_eq!(map.range_entries(lo, hi), expected, "range {lo:?}..{hi:?}");
+                assert_eq!(map.range_count(lo, hi), expected.len());
+                assert_eq!(
+                    map.range_keys(lo, hi),
+                    expected.iter().map(|(k, _)| *k).collect::<Vec<_>>()
+                );
+            }
+        }
+        assert_eq!(map.kth(0), Some((0, 0)));
+        assert_eq!(map.kth(29_999), Some((89_997, 29_999)));
+        assert_eq!(map.kth(30_000), None);
+        assert_eq!(map.predecessor(&0), None);
+        assert_eq!(map.predecessor(&1), Some(0));
+        assert_eq!(map.successor(&89_997), None);
+        assert_eq!(map.successor(&89_996), Some(89_997));
+        assert_eq!(map.successor(&0), Some(3));
+    }
+
+    #[test]
+    fn rebuilds_preserve_values() {
+        // Grow far past the rebuild factor so whole subtrees are rebuilt,
+        // then check every surviving value rode along.
+        let mut map = IstMap::from_sorted_entries((0..2_000u64).map(|i| (i * 2, i)).collect());
+        let grow =
+            KvBatch::from_unsorted((0..6_000u64).map(|i| (i * 2 + 1, i + 500_000)).collect());
+        map.batch_insert_kv(&grow);
+        map.check_invariants().unwrap();
+        assert_eq!(map.len(), 8_000);
+        for i in (0..2_000u64).step_by(97) {
+            assert_eq!(map.get(&(i * 2)), Some(i));
+        }
+        for i in (0..6_000u64).step_by(97) {
+            assert_eq!(map.get(&(i * 2 + 1)), Some(i + 500_000));
+        }
+    }
+
+    #[test]
+    fn clone_is_snapshot_via_cow() {
+        let mut map = IstMap::from_sorted_entries((0..10_000u64).map(|i| (i, i)).collect());
+        let frozen = map.clone();
+        map.batch_insert_kv(&KvBatch::from_unsorted(vec![(3, 999u64)]));
+        assert_eq!(map.get(&3), Some(999));
+        assert_eq!(frozen.get(&3), Some(3), "clone saw a later upsert");
+    }
+}

@@ -54,15 +54,21 @@ pub const LEAF_CAPACITY: usize = 1024;
 pub const MAX_FANOUT: usize = 256;
 
 /// A subtree: either a sorted leaf array or an inner routing node.
+///
+/// The value parameter `V` defaults to `()` — the set case, where the
+/// per-key value array is a zero-sized no-op the compiler erases.  The map
+/// ([`crate::IstMap`]) instantiates the same structure with real values:
+/// leaves carry one value per key (parallel arrays), inner nodes route
+/// exactly as for the set.
 #[derive(Debug, Clone)]
-pub enum Node<K> {
-    /// A sorted, deduplicated run of keys.
-    Leaf(LeafNode<K>),
+pub enum Node<K, V = ()> {
+    /// A sorted, deduplicated run of keys (with their values).
+    Leaf(LeafNode<K, V>),
     /// A routing node over `children.len()` subtrees.
-    Inner(InnerNode<K>),
+    Inner(InnerNode<K, V>),
 }
 
-impl<K> Node<K> {
+impl<K, V> Node<K, V> {
     /// Number of keys stored in this subtree.
     pub fn len(&self) -> usize {
         match self {
@@ -102,11 +108,14 @@ impl<K> Node<K> {
     }
 }
 
-/// A leaf: a sorted, deduplicated array of keys.
+/// A leaf: a sorted, deduplicated array of keys, with a parallel array of
+/// values (`vals[i]` belongs to `keys[i]`; a zero-sized `Vec<()>` for sets).
 #[derive(Debug, Clone)]
-pub struct LeafNode<K> {
+pub struct LeafNode<K, V = ()> {
     /// The keys, strictly increasing.
     pub keys: Vec<K>,
+    /// The values, index-parallel to `keys` (`vals.len() == keys.len()`).
+    pub vals: Vec<V>,
 }
 
 /// An inner node routing to `children.len()` subtrees.
@@ -116,13 +125,13 @@ pub struct LeafNode<K> {
 /// interpolation step uses `min`/`max` (the smallest and largest key in this
 /// subtree) to guess that index before touching the routers.
 #[derive(Debug, Clone)]
-pub struct InnerNode<K> {
+pub struct InnerNode<K, V = ()> {
     /// Separator keys, strictly increasing; `len == children.len() - 1`.
     pub routers: Vec<K>,
     /// The subtrees, each non-empty.  `Arc` for structural sharing with
     /// published read snapshots; the update path edits through
     /// `Arc::make_mut` (copy-on-write).
-    pub children: Vec<Arc<Node<K>>>,
+    pub children: Vec<Arc<Node<K, V>>>,
     /// Total number of keys under this node.
     pub len: usize,
     /// Number of keys under this node when its subtree was last (re)built.

@@ -1,0 +1,134 @@
+//! Ordered range and selection queries over the IST.
+//!
+//! A range query reuses the same observation the joint batched traversal is
+//! built on: routers partition the key space, so a `(lo, hi)` bound pair
+//! touches at most two *boundary* children per level.  [`range_for_each`]
+//! descends once, binary-searches inside the (at most two) boundary leaves,
+//! and emits every fully-covered subtree in between wholesale — no per-key
+//! bound checks inside the interior.  Total cost is
+//! `O(depth · log fanout + output)`.
+//!
+//! [`kth_entry`] is the selection descent: subtract child sizes until the
+//! index lands in a leaf — `O(depth · fanout)` worst case, with the fanout
+//! factor bounded by [`crate::node::MAX_FANOUT`].
+
+use std::ops::Bound;
+
+use crate::node::Node;
+
+/// Returns `true` when `key` falls below the lower bound (outside the range).
+pub(crate) fn below_lo<K: Ord>(key: &K, lo: Bound<&K>) -> bool {
+    match lo {
+        Bound::Unbounded => false,
+        Bound::Included(b) => key < b,
+        Bound::Excluded(b) => key <= b,
+    }
+}
+
+/// Returns `true` when `key` falls above the upper bound (outside the range).
+pub(crate) fn above_hi<K: Ord>(key: &K, hi: Bound<&K>) -> bool {
+    match hi {
+        Bound::Unbounded => false,
+        Bound::Included(b) => key > b,
+        Bound::Excluded(b) => key >= b,
+    }
+}
+
+/// Calls `f` for every `(key, value)` pair inside the `(lo, hi)` bound pair,
+/// in ascending key order.
+///
+/// Subtrees entirely inside the bounds are emitted without further
+/// comparisons; subtrees entirely outside are skipped without being entered;
+/// only the boundary path (at most two children per level) recurses with the
+/// bounds still in hand.
+pub(crate) fn range_for_each<'a, K, V, F>(
+    node: &'a Node<K, V>,
+    lo: Bound<&K>,
+    hi: Bound<&K>,
+    f: &mut F,
+) where
+    K: Ord,
+    F: FnMut(&'a K, &'a V),
+{
+    if node.is_empty() {
+        return;
+    }
+    if !below_lo(node.min_key(), lo) && !above_hi(node.max_key(), hi) {
+        // Fully covered: concatenate the whole subtree.
+        emit_all(node, f);
+        return;
+    }
+    match node {
+        Node::Leaf(leaf) => {
+            // A boundary leaf: carve the covered run with two binary
+            // searches, then emit it check-free.
+            let start = leaf.keys.partition_point(|k| below_lo(k, lo));
+            let end = leaf.keys.partition_point(|k| !above_hi(k, hi));
+            for i in start..end {
+                f(&leaf.keys[i], &leaf.vals[i]);
+            }
+        }
+        Node::Inner(inner) => {
+            // First child that can hold an in-range key: the one `lo`'s key
+            // itself would route to (earlier children end strictly below it).
+            let start = match lo {
+                Bound::Unbounded => 0,
+                Bound::Included(b) | Bound::Excluded(b) => {
+                    inner.routers.partition_point(|r| r <= b)
+                }
+            };
+            for child in &inner.children[start..] {
+                if above_hi(child.min_key(), hi) {
+                    break;
+                }
+                if below_lo(child.max_key(), lo) {
+                    continue;
+                }
+                range_for_each(child, lo, hi, f);
+            }
+        }
+    }
+}
+
+/// Emits every pair of `node` in ascending key order, no bound checks.
+fn emit_all<'a, K, V, F>(node: &'a Node<K, V>, f: &mut F)
+where
+    F: FnMut(&'a K, &'a V),
+{
+    match node {
+        Node::Leaf(leaf) => {
+            for (k, v) in leaf.keys.iter().zip(leaf.vals.iter()) {
+                f(k, v);
+            }
+        }
+        Node::Inner(inner) => {
+            for child in &inner.children {
+                emit_all(child, f);
+            }
+        }
+    }
+}
+
+/// The `k`-th smallest pair (0-indexed) of a non-empty subtree.
+///
+/// # Panics
+///
+/// Panics (index out of bounds) when `k >= node.len()`; callers check.
+pub(crate) fn kth_entry<K, V>(root: &Node<K, V>, k: usize) -> (&K, &V) {
+    debug_assert!(k < root.len());
+    let mut node = root;
+    let mut k = k;
+    loop {
+        match node {
+            Node::Leaf(leaf) => return (&leaf.keys[k], &leaf.vals[k]),
+            Node::Inner(inner) => {
+                let mut idx = 0;
+                while k >= inner.children[idx].len() {
+                    k -= inner.children[idx].len();
+                    idx += 1;
+                }
+                node = &inner.children[idx];
+            }
+        }
+    }
+}

@@ -40,7 +40,7 @@ pub(crate) fn partition_batch<K: Ord>(routers: &[K], batch: &[K]) -> Vec<usize> 
 
 /// One child's share of a joint traversal: the subtree, its contiguous
 /// sub-batch, and the matching slice of the output buffer.
-type QueryTask<'a, K> = (&'a Node<K>, &'a [K], &'a mut [MaybeUninit<bool>]);
+type QueryTask<'a, K, V, R> = (&'a Node<K, V>, &'a [K], &'a mut [MaybeUninit<R>]);
 
 /// Answers `batch` (sorted, strictly increasing) against the subtree at
 /// `node`, writing one membership flag per query into `out` (same order).
@@ -48,25 +48,60 @@ type QueryTask<'a, K> = (&'a Node<K>, &'a [K], &'a mut [MaybeUninit<bool>]);
 /// `m` counts each node entered **once per traversal**, not once per
 /// query routed through it — exactly the sharing the joint traversal buys
 /// over per-query descents.
-pub(crate) fn batch_contains_into<K>(
-    node: &Node<K>,
+pub(crate) fn batch_contains_into<K, V>(
+    node: &Node<K, V>,
     batch: &[K],
     out: &mut [MaybeUninit<bool>],
     m: MetricsRef<'_>,
 ) where
     K: InterpolateKey + Clone + Send + Sync,
+    V: Send + Sync,
+{
+    joint_query_into(node, batch, out, m, &|leaf, q| leaf_contains(&leaf.keys, q));
+}
+
+/// The map twin of [`batch_contains_into`]: one value lookup per query,
+/// `None` for absent keys — same joint partition, same forking shape.
+pub(crate) fn batch_get_into<K, V>(
+    node: &Node<K, V>,
+    batch: &[K],
+    out: &mut [MaybeUninit<Option<V>>],
+    m: MetricsRef<'_>,
+) where
+    K: InterpolateKey + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    joint_query_into(node, batch, out, m, &|leaf, q| {
+        crate::tree::leaf_search(&leaf.keys, q).map(|i| leaf.vals[i].clone())
+    });
+}
+
+/// Shared joint-traversal skeleton: partitions `batch` at each inner node's
+/// routers, recurses per child (forked once the batch is large enough), and
+/// answers each query at its leaf with `answer`.
+fn joint_query_into<K, V, R, F>(
+    node: &Node<K, V>,
+    batch: &[K],
+    out: &mut [MaybeUninit<R>],
+    m: MetricsRef<'_>,
+    answer: &F,
+) where
+    K: InterpolateKey + Clone + Send + Sync,
+    V: Send + Sync,
+    R: Send,
+    F: Fn(&crate::node::LeafNode<K, V>, &K) -> R + Sync,
 {
     debug_assert_eq!(batch.len(), out.len());
     touch_node(m);
     match node {
         Node::Leaf(leaf) => {
             for (q, slot) in batch.iter().zip(out.iter_mut()) {
-                slot.write(leaf_contains(&leaf.keys, q));
+                slot.write(answer(leaf, q));
             }
         }
         Node::Inner(inner) => {
             let offsets = partition_batch(&inner.routers, batch);
-            let mut tasks: Vec<QueryTask<'_, K>> = Vec::with_capacity(inner.children.len());
+            let mut tasks: Vec<QueryTask<'_, K, V, R>> = Vec::with_capacity(inner.children.len());
             let mut batch_rest = batch;
             let mut out_rest = out;
             for (child, window) in inner.children.iter().zip(offsets.windows(2)) {
@@ -81,14 +116,14 @@ pub(crate) fn batch_contains_into<K>(
             }
             if batch.len() <= SEQ_BATCH_LEN {
                 for (child, batch_seg, out_seg) in tasks.iter_mut() {
-                    batch_contains_into(child, batch_seg, out_seg, m);
+                    joint_query_into(child, batch_seg, out_seg, m, answer);
                 }
             } else {
                 // Fork per child: each task is a whole sub-traversal, so the
                 // element-count heuristic would be wrong here (see
                 // `parprim::map_with_grain`).
                 parprim::for_each_mut_with_grain(&mut tasks, 1, |(child, batch_seg, out_seg)| {
-                    batch_contains_into(child, batch_seg, out_seg, m);
+                    joint_query_into(child, batch_seg, out_seg, m, answer);
                 });
             }
         }

@@ -1,6 +1,7 @@
 //! The interpolation search tree set: bulk construction, lookups, and the
 //! batched-operations interface.
 
+use std::ops::Bound;
 use std::sync::Arc;
 
 use batchapi::{Batch, BatchedSet, SetView};
@@ -9,7 +10,7 @@ use crate::metrics::{metrics_ref, touch_node, IstMetrics, IstMetricsSnapshot, Me
 use crate::node::{
     interpolate_slot, InnerNode, InterpolateKey, LeafNode, Node, LEAF_CAPACITY, MAX_FANOUT,
 };
-use crate::{traverse, update};
+use crate::{range, traverse, update};
 
 /// A set of keys stored as an interpolation search tree.
 ///
@@ -90,7 +91,8 @@ impl<K: InterpolateKey + Clone + Send + Sync> IstSet<K> {
         if keys.is_empty() {
             return IstSet::with_root(None);
         }
-        IstSet::with_root(Some(build(&keys)))
+        let root = build(&keys, &unit_vals(keys.len()));
+        IstSet::with_root(Some(root))
     }
 
     /// Builds a tree from arbitrary keys; sorts (unstable — keys are plain
@@ -108,7 +110,8 @@ impl<K: InterpolateKey + Clone + Send + Sync> IstSet<K> {
         if batch.is_empty() {
             return IstSet::with_root(None);
         }
-        IstSet::with_root(Some(build(batch.as_slice())))
+        let root = build(batch.as_slice(), &unit_vals(batch.len()));
+        IstSet::with_root(Some(root))
     }
 
     /// Number of keys in the set.
@@ -231,6 +234,33 @@ impl<K: InterpolateKey + Clone + Send + Sync> BatchedSet<K> for IstSet<K> {
         })
     }
 
+    fn publish_clone_keys(&self) -> usize {
+        0 // publish_root clones one `Arc`, never the contents
+    }
+
+    fn range_keys(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K>
+    where
+        K: Clone,
+    {
+        match &self.root {
+            Some(root) => range_keys_in(root, lo, hi, self.obs_metrics()),
+            None => Vec::new(),
+        }
+    }
+
+    fn kth(&self, k: usize) -> Option<K>
+    where
+        K: Clone,
+    {
+        match &self.root {
+            Some(root) if k < root.len() => {
+                touch_node(self.obs_metrics());
+                Some(range::kth_entry(root, k).0.clone())
+            }
+            _ => None,
+        }
+    }
+
     // The `_report` variants are the primary implementations: the traversal
     // and update recursions already write flags into a caller-provided
     // buffer, so reporting through a reused `Vec` is allocation-free once
@@ -276,7 +306,8 @@ impl<K: InterpolateKey + Clone + Send + Sync> BatchedSet<K> for IstSet<K> {
         let root = match &mut self.root {
             Some(root) => Arc::make_mut(root),
             None => {
-                self.root = Some(Arc::new(build(batch.as_slice())));
+                let built = build(batch.as_slice(), &unit_vals(batch.len()));
+                self.root = Some(Arc::new(built));
                 out.resize(batch.len(), true);
                 return;
             }
@@ -286,13 +317,14 @@ impl<K: InterpolateKey + Clone + Send + Sync> BatchedSet<K> for IstSet<K> {
         // allocation-free.
         let m = metrics_ref(self.obs, &self.metrics);
         if batch.len() <= update::POINT_BATCH_LEN {
-            out.extend(batch.iter().map(|q| update::insert_one(root, q, m)));
+            out.extend(batch.iter().map(|q| update::insert_one(root, q, &(), m)));
             return;
         }
         out.reserve(batch.len());
         update::insert_into(
             root,
             batch.as_slice(),
+            &unit_vals(batch.len()),
             &mut out.spare_capacity_mut()[..batch.len()],
             m,
         );
@@ -335,10 +367,11 @@ impl<K: InterpolateKey + Clone + Send + Sync> BatchedSet<K> for IstSet<K> {
     fn insert_one(&mut self, key: &K) -> bool {
         let m = metrics_ref(self.obs, &self.metrics);
         match &mut self.root {
-            Some(root) => update::insert_one(Arc::make_mut(root), key, m),
+            Some(root) => update::insert_one(Arc::make_mut(root), key, &(), m),
             None => {
                 self.root = Some(Arc::new(Node::Leaf(LeafNode {
                     keys: vec![key.clone()],
+                    vals: vec![()],
                 })));
                 true
             }
@@ -362,7 +395,7 @@ impl<K: InterpolateKey + Clone + Send + Sync> BatchedSet<K> for IstSet<K> {
 /// Picks the child of `inner` whose key range covers `key`: interpolate a
 /// guess, then correct it against the routers (cheap check first, binary
 /// search only when the guess is off).
-pub(crate) fn child_index<K: InterpolateKey>(inner: &InnerNode<K>, key: &K) -> usize {
+pub(crate) fn child_index<K: InterpolateKey, V>(inner: &InnerNode<K, V>, key: &K) -> usize {
     let n = inner.children.len();
     let guess = interpolate_slot(key, &inner.min, &inner.max, n);
     let fits_left = guess == 0 || inner.routers[guess - 1] <= *key;
@@ -373,29 +406,39 @@ pub(crate) fn child_index<K: InterpolateKey>(inner: &InnerNode<K>, key: &K) -> u
     inner.routers.partition_point(|r| r <= key)
 }
 
-/// Interpolation search over one sorted leaf array.
+/// Interpolation search over one sorted leaf array, returning the index of
+/// `key` when present.
 ///
 /// Each probe interpolates within the remaining `[lo, hi)` window; the window
 /// shrinks every iteration, so this terminates even for key distributions
 /// where the interpolation guess is always wrong (then it degrades towards a
 /// linear scan — the classic interpolation-search worst case).
-pub(crate) fn leaf_contains<K: InterpolateKey>(keys: &[K], key: &K) -> bool {
+pub(crate) fn leaf_search<K: InterpolateKey>(keys: &[K], key: &K) -> Option<usize> {
     let mut lo = 0;
     let mut hi = keys.len();
     while lo < hi {
         let slot = lo + interpolate_slot(key, &keys[lo], &keys[hi - 1], hi - lo);
         match keys[slot].cmp(key) {
-            std::cmp::Ordering::Equal => return true,
+            std::cmp::Ordering::Equal => return Some(slot),
             std::cmp::Ordering::Less => lo = slot + 1,
             std::cmp::Ordering::Greater => hi = slot,
         }
     }
-    false
+    None
+}
+
+/// Membership wrapper over [`leaf_search`].
+pub(crate) fn leaf_contains<K: InterpolateKey>(keys: &[K], key: &K) -> bool {
+    leaf_search(keys, key).is_some()
 }
 
 /// The interpolated point-lookup descent, shared by the live tree and its
 /// published snapshots ([`IstView`]).
-fn contains_in<K: InterpolateKey>(root: &Node<K>, key: &K, m: MetricsRef<'_>) -> bool {
+pub(crate) fn contains_in<K: InterpolateKey, V>(
+    root: &Node<K, V>,
+    key: &K,
+    m: MetricsRef<'_>,
+) -> bool {
     let mut node = root;
     loop {
         touch_node(m);
@@ -408,9 +451,31 @@ fn contains_in<K: InterpolateKey>(root: &Node<K>, key: &K, m: MetricsRef<'_>) ->
     }
 }
 
+/// The interpolated value-lookup descent — [`contains_in`]'s map twin.
+pub(crate) fn get_in<K: InterpolateKey, V: Clone>(
+    root: &Node<K, V>,
+    key: &K,
+    m: MetricsRef<'_>,
+) -> Option<V> {
+    let mut node = root;
+    loop {
+        touch_node(m);
+        match node {
+            Node::Leaf(leaf) => return leaf_search(&leaf.keys, key).map(|i| leaf.vals[i].clone()),
+            Node::Inner(inner) => {
+                node = &inner.children[child_index(inner, key)];
+            }
+        }
+    }
+}
+
 /// The rank descent (keys strictly below `key`), shared by the live tree
 /// and its published snapshots.
-fn rank_in<K: InterpolateKey>(root: &Node<K>, key: &K, m: MetricsRef<'_>) -> usize {
+pub(crate) fn rank_in<K: InterpolateKey, V>(
+    root: &Node<K, V>,
+    key: &K,
+    m: MetricsRef<'_>,
+) -> usize {
     let mut node = root;
     let mut before = 0;
     loop {
@@ -424,6 +489,19 @@ fn rank_in<K: InterpolateKey>(root: &Node<K>, key: &K, m: MetricsRef<'_>) -> usi
             }
         }
     }
+}
+
+/// The structure-aware range carve behind both the live tree's and the
+/// snapshot's `range_keys` overrides: one descent, binary searches only in
+/// the two boundary leaves, interior subtrees concatenated wholesale.
+fn range_keys_in<K, V>(root: &Node<K, V>, lo: Bound<&K>, hi: Bound<&K>, m: MetricsRef<'_>) -> Vec<K>
+where
+    K: Ord + Clone,
+{
+    touch_node(m);
+    let mut keys = Vec::new();
+    range::range_for_each(root, lo, hi, &mut |k: &K, _v: &V| keys.push(k.clone()));
+    keys
 }
 
 /// An [`IstSet`] read snapshot: the root `Arc` frozen at one linearisation
@@ -505,25 +583,61 @@ impl<K: InterpolateKey + Clone + Send + Sync> SetView<K> for IstView<K> {
             None => Vec::new(),
         }
     }
+
+    fn range_keys(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K>
+    where
+        K: Ord + Clone,
+    {
+        match &self.root {
+            Some(root) => range_keys_in(root, lo, hi, self.obs_metrics()),
+            None => Vec::new(),
+        }
+    }
+
+    fn kth(&self, k: usize) -> Option<K>
+    where
+        K: Clone,
+    {
+        match &self.root {
+            Some(root) if k < root.len() => {
+                touch_node(self.obs_metrics());
+                Some(range::kth_entry(root, k).0.clone())
+            }
+            _ => None,
+        }
+    }
 }
 
-/// Builds the subtree for one strictly-increasing run of keys, recursing over
-/// children in parallel via `parprim::map`.
-pub(crate) fn build<K: InterpolateKey + Clone + Send + Sync>(keys: &[K]) -> Node<K> {
+/// A unit-value slice matching `n` keys — what the set (`V = ()`) passes to
+/// the key/value build and update paths.  `Vec<()>` never allocates.
+pub(crate) fn unit_vals(n: usize) -> Vec<()> {
+    vec![(); n]
+}
+
+/// Builds the subtree for one strictly-increasing run of keys (with its
+/// index-parallel values), recursing over children in parallel via
+/// `parprim::map`.
+pub(crate) fn build<K, V>(keys: &[K], vals: &[V]) -> Node<K, V>
+where
+    K: InterpolateKey + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
     debug_assert!(!keys.is_empty());
+    debug_assert_eq!(keys.len(), vals.len());
     if keys.len() <= LEAF_CAPACITY {
         return Node::Leaf(LeafNode {
             keys: keys.to_vec(),
+            vals: vals.to_vec(),
         });
     }
     // Ideal IST fanout is Θ(√n), capped to bound router-array sizes.
     let fanout = ((keys.len() as f64).sqrt() as usize).clamp(2, MAX_FANOUT);
     let chunk_len = keys.len().div_ceil(fanout);
-    let chunks: Vec<&[K]> = keys.chunks(chunk_len).collect();
-    let routers: Vec<K> = chunks[1..].iter().map(|c| c[0].clone()).collect();
+    let chunks: Vec<(&[K], &[V])> = keys.chunks(chunk_len).zip(vals.chunks(chunk_len)).collect();
+    let routers: Vec<K> = chunks[1..].iter().map(|(c, _)| c[0].clone()).collect();
     // Each element is a whole subtree build: fork per chunk, not by the
     // element-count heuristic (which would never fork over <= 64 children).
-    let children = parprim::map_with_grain(&chunks, 1, |c| Arc::new(build(c)));
+    let children = parprim::map_with_grain(&chunks, 1, |(c, v)| Arc::new(build(c, v)));
     Node::Inner(InnerNode {
         routers,
         children,
@@ -534,12 +648,19 @@ pub(crate) fn build<K: InterpolateKey + Clone + Send + Sync>(keys: &[K]) -> Node
     })
 }
 
-/// Recursive worker for [`IstSet::check_invariants`].
-fn check_node<K: InterpolateKey>(node: &Node<K>) -> Result<(), String> {
+/// Recursive worker for [`IstSet::check_invariants`] (and the map's).
+pub(crate) fn check_node<K: InterpolateKey, V>(node: &Node<K, V>) -> Result<(), String> {
     match node {
         Node::Leaf(leaf) => {
             if leaf.keys.is_empty() {
                 return Err("empty leaf was not pruned".into());
+            }
+            if leaf.vals.len() != leaf.keys.len() {
+                return Err(format!(
+                    "leaf holds {} keys but {} values",
+                    leaf.keys.len(),
+                    leaf.vals.len()
+                ));
             }
             if leaf.keys.len() > LEAF_CAPACITY {
                 return Err(format!(

@@ -11,6 +11,11 @@
 //! last built — or a leaf that outgrew [`LEAF_CAPACITY`] — is rebuilt from
 //! its sorted keys, restoring the ideal `Θ(√n)` fanout; removals that empty
 //! a subtree are pruned by the parent (single survivors are hoisted).
+//!
+//! Everything here is generic over the per-key value `V` ([`crate::IstMap`]
+//! carries real values; the set instantiates `V = ()`, which the compiler
+//! erases).  Inserts are upserts: a key already present keeps its slot and
+//! takes the incoming value, reporting `false` ("not newly inserted").
 
 use std::mem::MaybeUninit;
 use std::sync::Arc;
@@ -37,38 +42,96 @@ const SEQ_COLLECT_LEN: usize = 2048;
 /// the batched run.
 pub(crate) const POINT_BATCH_LEN: usize = 8;
 
-/// One child's share of a batched update: the subtree, its contiguous
-/// sub-batch, the matching output-flag slice, and the per-child count the
-/// recursion reports back.
-type UpdateTask<'a, K> = (&'a mut Node<K>, &'a [K], &'a mut [MaybeUninit<bool>], usize);
+/// One child's share of a batched insert: the subtree, its contiguous
+/// key/value sub-batches, the matching output-flag slice, and the per-child
+/// count the recursion reports back.
+type InsertTask<'a, K, V> = (
+    &'a mut Node<K, V>,
+    &'a [K],
+    &'a [V],
+    &'a mut [MaybeUninit<bool>],
+    usize,
+);
 
-/// One child's share of a parallel flatten: the subtree and its slice of the
-/// output key buffer.
-type CollectTask<'a, K> = (&'a Node<K>, &'a mut [MaybeUninit<K>]);
+/// One child's share of a batched removal (no values travel with it).
+type RemoveTask<'a, K, V> = (
+    &'a mut Node<K, V>,
+    &'a [K],
+    &'a mut [MaybeUninit<bool>],
+    usize,
+);
 
-/// Inserts the sorted `batch` into the subtree at `node`, writing one
-/// "newly inserted?" flag per batch element into `out` (batch order) and
-/// returning how many keys were actually added.
-pub(crate) fn insert_into<K>(
-    node: &mut Node<K>,
+/// One child's share of a parallel flatten: the subtree and its slices of
+/// the output key and value buffers.
+type CollectTask<'a, K, V> = (
+    &'a Node<K, V>,
+    &'a mut [MaybeUninit<K>],
+    &'a mut [MaybeUninit<V>],
+);
+
+/// Upserts the sorted `batch` (keys with index-parallel `vals`) into the
+/// subtree at `node`, writing one "newly inserted?" flag per batch element
+/// into `out` (batch order) and returning how many keys were actually
+/// added.  Keys already present take the incoming value and flag `false`.
+pub(crate) fn insert_into<K, V>(
+    node: &mut Node<K, V>,
     batch: &[K],
+    vals: &[V],
     out: &mut [MaybeUninit<bool>],
     m: MetricsRef<'_>,
 ) -> usize
 where
     K: InterpolateKey + Clone + Send + Sync,
+    V: Clone + Send + Sync,
 {
     debug_assert_eq!(batch.len(), out.len());
+    debug_assert_eq!(batch.len(), vals.len());
     debug_assert!(!batch.is_empty());
     touch_node(m);
     let added = match node {
         Node::Leaf(leaf) => {
-            let added = insert_into_leaf(leaf, batch, out);
+            let added = insert_into_leaf(leaf, batch, vals, out);
             touch_leaf_edit(m, added > 0);
             added
         }
         Node::Inner(inner) => {
-            let added = for_each_child_batch(inner, batch, out, |n, b, o| insert_into(n, b, o, m));
+            let added = {
+                let offsets = partition_batch(&inner.routers, batch);
+                let mut tasks: Vec<InsertTask<'_, K, V>> = Vec::with_capacity(inner.children.len());
+                let mut batch_rest = batch;
+                let mut vals_rest = vals;
+                let mut out_rest = out;
+                for (child, window) in inner.children.iter_mut().zip(offsets.windows(2)) {
+                    let seg_len = window[1] - window[0];
+                    let (batch_seg, batch_tail) = batch_rest.split_at(seg_len);
+                    let (vals_seg, vals_tail) = vals_rest.split_at(seg_len);
+                    let (out_seg, out_tail) = out_rest.split_at_mut(seg_len);
+                    batch_rest = batch_tail;
+                    vals_rest = vals_tail;
+                    out_rest = out_tail;
+                    if seg_len > 0 {
+                        // Copy-on-write: only children actually receiving
+                        // updates are unshared from outstanding snapshots.
+                        tasks.push((Arc::make_mut(child), batch_seg, vals_seg, out_seg, 0));
+                    }
+                }
+                if batch.len() <= SEQ_BATCH_LEN {
+                    for (child, batch_seg, vals_seg, out_seg, count) in tasks.iter_mut() {
+                        *count = insert_into(child, batch_seg, vals_seg, out_seg, m);
+                    }
+                } else {
+                    // Fork per child: each task is a whole sub-update (see
+                    // the matching comment in `traverse`).
+                    parprim::for_each_mut_with_grain(
+                        &mut tasks,
+                        1,
+                        |(child, batch_seg, vals_seg, out_seg, count)| {
+                            *count = insert_into(child, batch_seg, vals_seg, out_seg, m);
+                        },
+                    );
+                }
+                tasks.iter().map(|task| task.4).sum::<usize>()
+            };
             inner.len += added;
             if added > 0 {
                 refresh_metadata(inner);
@@ -86,14 +149,15 @@ where
 ///
 /// May leave `node` as an **empty leaf** when the batch wipes the subtree
 /// out; callers (the parent node, or `IstSet` at the root) prune it.
-pub(crate) fn remove_from<K>(
-    node: &mut Node<K>,
+pub(crate) fn remove_from<K, V>(
+    node: &mut Node<K, V>,
     batch: &[K],
     out: &mut [MaybeUninit<bool>],
     m: MetricsRef<'_>,
 ) -> usize
 where
     K: InterpolateKey + Clone + Send + Sync,
+    V: Clone + Send + Sync,
 {
     debug_assert_eq!(batch.len(), out.len());
     debug_assert!(!batch.is_empty());
@@ -124,7 +188,10 @@ where
         if inner.children.len() < 2 {
             *node = match inner.children.pop() {
                 Some(only) => Arc::unwrap_or_clone(only),
-                None => Node::Leaf(LeafNode { keys: Vec::new() }),
+                None => Node::Leaf(LeafNode {
+                    keys: Vec::new(),
+                    vals: Vec::new(),
+                }),
             };
         }
     }
@@ -132,8 +199,9 @@ where
     removed
 }
 
-/// Inserts a single key: interpolated descent, in-place leaf edit, in-place
-/// metadata maintenance.  Returns `true` iff the key was newly added.
+/// Upserts a single pair: interpolated descent, in-place leaf edit,
+/// in-place metadata maintenance.  Returns `true` iff the key was newly
+/// added (`false` = present; its value was overwritten).
 ///
 /// This is the allocation-free fast path behind tiny batches — the shape
 /// the flat-combining front-end produces under low contention, where the
@@ -144,23 +212,28 @@ where
 /// picks child `i` because `routers[i-1] <= key`, and `routers[i-1]` *is*
 /// child `i`'s minimum, so a newly inserted key can never become the
 /// minimum of any child except child 0 — whose minimum no router records.
-pub(crate) fn insert_one<K>(node: &mut Node<K>, key: &K, m: MetricsRef<'_>) -> bool
+pub(crate) fn insert_one<K, V>(node: &mut Node<K, V>, key: &K, val: &V, m: MetricsRef<'_>) -> bool
 where
     K: InterpolateKey + Clone + Send + Sync,
+    V: Clone + Send + Sync,
 {
     touch_node(m);
     let added = match node {
         Node::Leaf(leaf) => match leaf.keys.binary_search(key) {
-            Ok(_) => false,
+            Ok(pos) => {
+                leaf.vals[pos] = val.clone();
+                false
+            }
             Err(pos) => {
                 leaf.keys.insert(pos, key.clone());
+                leaf.vals.insert(pos, val.clone());
                 touch_leaf_edit(m, true);
                 true
             }
         },
         Node::Inner(inner) => {
             let idx = child_index(inner, key);
-            let added = insert_one(Arc::make_mut(&mut inner.children[idx]), key, m);
+            let added = insert_one(Arc::make_mut(&mut inner.children[idx]), key, val, m);
             if added {
                 inner.len += 1;
                 if *key < inner.min {
@@ -182,15 +255,17 @@ where
 /// `true` iff the key was present.  May leave `node` as an **empty leaf**
 /// when it held exactly this key; callers prune it (as with
 /// [`remove_from`]).
-pub(crate) fn remove_one<K>(node: &mut Node<K>, key: &K, m: MetricsRef<'_>) -> bool
+pub(crate) fn remove_one<K, V>(node: &mut Node<K, V>, key: &K, m: MetricsRef<'_>) -> bool
 where
     K: InterpolateKey + Clone + Send + Sync,
+    V: Clone + Send + Sync,
 {
     touch_node(m);
     let removed = match node {
         Node::Leaf(leaf) => match leaf.keys.binary_search(key) {
             Ok(pos) => {
                 leaf.keys.remove(pos);
+                leaf.vals.remove(pos);
                 touch_leaf_edit(m, true);
                 true
             }
@@ -237,7 +312,10 @@ where
         if inner.children.len() < 2 {
             *node = match inner.children.pop() {
                 Some(only) => Arc::unwrap_or_clone(only),
-                None => Node::Leaf(LeafNode { keys: Vec::new() }),
+                None => Node::Leaf(LeafNode {
+                    keys: Vec::new(),
+                    vals: Vec::new(),
+                }),
             };
         }
     }
@@ -247,45 +325,80 @@ where
 
 /// Flattens the subtree at `node` into one sorted key vector, forking per
 /// child for large subtrees.
-pub(crate) fn collect_keys<K>(node: &Node<K>) -> Vec<K>
+pub(crate) fn collect_keys<K, V>(node: &Node<K, V>) -> Vec<K>
 where
     K: Clone + Send + Sync,
+    V: Clone + Send + Sync,
 {
-    let n = node.len();
-    let mut out = Vec::with_capacity(n);
-    collect_into(node, &mut out.spare_capacity_mut()[..n]);
-    // SAFETY: `collect_into` writes each of the first `n` slots exactly once
-    // (children cover disjoint ranges whose lengths sum to `n`).
-    unsafe { out.set_len(n) };
-    out
+    collect_kv(node).0
 }
 
-fn collect_into<K>(node: &Node<K>, out: &mut [MaybeUninit<K>])
+/// Flattens the subtree at `node` into parallel sorted key and value
+/// vectors — the shape [`build`] consumes, so a drifted subtree rebuilds
+/// (and a map snapshots) without pair-tupling the contents first.
+pub(crate) fn collect_kv<K, V>(node: &Node<K, V>) -> (Vec<K>, Vec<V>)
 where
     K: Clone + Send + Sync,
+    V: Clone + Send + Sync,
 {
-    debug_assert_eq!(node.len(), out.len());
+    let n = node.len();
+    let mut keys = Vec::with_capacity(n);
+    let mut vals = Vec::with_capacity(n);
+    collect_into(
+        node,
+        &mut keys.spare_capacity_mut()[..n],
+        &mut vals.spare_capacity_mut()[..n],
+    );
+    // SAFETY: `collect_into` writes each of the first `n` slots of both
+    // buffers exactly once (children cover disjoint ranges whose lengths
+    // sum to `n`).
+    unsafe {
+        keys.set_len(n);
+        vals.set_len(n);
+    }
+    (keys, vals)
+}
+
+fn collect_into<K, V>(
+    node: &Node<K, V>,
+    keys_out: &mut [MaybeUninit<K>],
+    vals_out: &mut [MaybeUninit<V>],
+) where
+    K: Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    debug_assert_eq!(node.len(), keys_out.len());
+    debug_assert_eq!(node.len(), vals_out.len());
     match node {
         Node::Leaf(leaf) => {
-            for (key, slot) in leaf.keys.iter().zip(out.iter_mut()) {
-                slot.write(key.clone());
+            for ((key, val), (kslot, vslot)) in leaf
+                .keys
+                .iter()
+                .zip(leaf.vals.iter())
+                .zip(keys_out.iter_mut().zip(vals_out.iter_mut()))
+            {
+                kslot.write(key.clone());
+                vslot.write(val.clone());
             }
         }
         Node::Inner(inner) => {
-            let mut tasks: Vec<CollectTask<'_, K>> = Vec::with_capacity(inner.children.len());
-            let mut out_rest = out;
+            let mut tasks: Vec<CollectTask<'_, K, V>> = Vec::with_capacity(inner.children.len());
+            let mut keys_rest = keys_out;
+            let mut vals_rest = vals_out;
             for child in &inner.children {
-                let (out_seg, out_tail) = out_rest.split_at_mut(child.len());
-                out_rest = out_tail;
-                tasks.push((child.as_ref(), out_seg));
+                let (kseg, ktail) = keys_rest.split_at_mut(child.len());
+                let (vseg, vtail) = vals_rest.split_at_mut(child.len());
+                keys_rest = ktail;
+                vals_rest = vtail;
+                tasks.push((child.as_ref(), kseg, vseg));
             }
             if inner.len <= SEQ_COLLECT_LEN {
-                for (child, out_seg) in tasks.iter_mut() {
-                    collect_into(child, out_seg);
+                for (child, kseg, vseg) in tasks.iter_mut() {
+                    collect_into(child, kseg, vseg);
                 }
             } else {
-                parprim::for_each_mut_with_grain(&mut tasks, 1, |(child, out_seg)| {
-                    collect_into(child, out_seg);
+                parprim::for_each_mut_with_grain(&mut tasks, 1, |(child, kseg, vseg)| {
+                    collect_into(child, kseg, vseg);
                 });
             }
         }
@@ -295,20 +408,21 @@ where
 /// Routes `batch` to `inner`'s children ([`partition_batch`]) and runs `op`
 /// on every child that received a non-empty sub-batch — in parallel when the
 /// batch is large enough — returning the sum of the per-child results.
-fn for_each_child_batch<K, Op>(
-    inner: &mut InnerNode<K>,
+fn for_each_child_batch<K, V, Op>(
+    inner: &mut InnerNode<K, V>,
     batch: &[K],
     out: &mut [MaybeUninit<bool>],
     op: Op,
 ) -> usize
 where
     K: InterpolateKey + Clone + Send + Sync,
-    Op: Fn(&mut Node<K>, &[K], &mut [MaybeUninit<bool>]) -> usize + Sync,
+    V: Clone + Send + Sync,
+    Op: Fn(&mut Node<K, V>, &[K], &mut [MaybeUninit<bool>]) -> usize + Sync,
 {
     let offsets = partition_batch(&inner.routers, batch);
     // Last tuple slot collects the per-child count, since `for_each_mut`
     // has no return channel.
-    let mut tasks: Vec<UpdateTask<'_, K>> = Vec::with_capacity(inner.children.len());
+    let mut tasks: Vec<RemoveTask<'_, K, V>> = Vec::with_capacity(inner.children.len());
     let mut batch_rest = batch;
     let mut out_rest = out;
     for (child, window) in inner.children.iter_mut().zip(offsets.windows(2)) {
@@ -339,7 +453,7 @@ where
 
 /// Recomputes `min`, `max` and the routers of `inner` from its (non-empty,
 /// at least two) children.  `len` is maintained incrementally by the caller.
-fn refresh_metadata<K: Ord + Clone>(inner: &mut InnerNode<K>) {
+fn refresh_metadata<K: Ord + Clone, V>(inner: &mut InnerNode<K, V>) {
     debug_assert!(inner.children.len() >= 2);
     inner.min = inner.children[0].min_key().clone();
     inner.max = inner.children[inner.children.len() - 1].max_key().clone();
@@ -352,9 +466,10 @@ fn refresh_metadata<K: Ord + Clone>(inner: &mut InnerNode<K>) {
 /// Rebuilds the subtree at `node` from its sorted keys when its size has
 /// drifted past the rebuild threshold (or a leaf outgrew its capacity),
 /// restoring the ideal `Θ(√n)`-fanout shape.
-fn maybe_rebuild<K>(node: &mut Node<K>, m: MetricsRef<'_>)
+fn maybe_rebuild<K, V>(node: &mut Node<K, V>, m: MetricsRef<'_>)
 where
     K: InterpolateKey + Clone + Send + Sync,
+    V: Clone + Send + Sync,
 {
     let drifted = match node {
         Node::Leaf(leaf) => leaf.keys.len() > LEAF_CAPACITY,
@@ -365,57 +480,72 @@ where
     };
     if drifted {
         touch_rebuild(m, node.len());
-        *node = build(&collect_keys(node));
+        let (keys, vals) = collect_kv(node);
+        *node = build(&keys, &vals);
     }
 }
 
-/// Merges `batch` into one leaf's sorted run, flagging which elements were
-/// new; returns the number added.  The leaf may exceed [`LEAF_CAPACITY`]
-/// afterwards — [`maybe_rebuild`] gives it inner structure.
-fn insert_into_leaf<K: Ord + Clone>(
-    leaf: &mut LeafNode<K>,
+/// Merges `batch` (keys with parallel `vals`) into one leaf's sorted run,
+/// flagging which elements were new; returns the number added.  Present
+/// keys take the incoming value (upsert).  The leaf may exceed
+/// [`LEAF_CAPACITY`] afterwards — [`maybe_rebuild`] gives it inner
+/// structure.
+fn insert_into_leaf<K: Ord + Clone, V: Clone>(
+    leaf: &mut LeafNode<K, V>,
     batch: &[K],
+    vals: &[V],
     out: &mut [MaybeUninit<bool>],
 ) -> usize {
     let keys = &leaf.keys;
+    let old_vals = &leaf.vals;
     let mut merged = Vec::with_capacity(keys.len() + batch.len());
+    let mut merged_vals = Vec::with_capacity(keys.len() + batch.len());
     let mut i = 0;
     let mut added = 0;
-    for (q, slot) in batch.iter().zip(out.iter_mut()) {
+    for ((q, v), slot) in batch.iter().zip(vals.iter()).zip(out.iter_mut()) {
         while i < keys.len() && keys[i] < *q {
             merged.push(keys[i].clone());
+            merged_vals.push(old_vals[i].clone());
             i += 1;
         }
         if i < keys.len() && keys[i] == *q {
-            // Present already; `keys[i]` itself is copied over by a later
-            // iteration's scan (the next batch element is larger) or by the
-            // trailing extend below.
+            // Present already: keep the stored key, take the batch's value
+            // (upsert), report "not newly inserted".
+            merged.push(keys[i].clone());
+            merged_vals.push(v.clone());
+            i += 1;
             slot.write(false);
         } else {
             merged.push(q.clone());
+            merged_vals.push(v.clone());
             added += 1;
             slot.write(true);
         }
     }
     merged.extend_from_slice(&keys[i..]);
+    merged_vals.extend_from_slice(&old_vals[i..]);
     leaf.keys = merged;
+    leaf.vals = merged_vals;
     added
 }
 
 /// Filters `batch` out of one leaf's sorted run, flagging which elements
 /// were present; returns the number removed.  May leave the leaf empty.
-fn remove_from_leaf<K: Ord + Clone>(
-    leaf: &mut LeafNode<K>,
+fn remove_from_leaf<K: Ord + Clone, V: Clone>(
+    leaf: &mut LeafNode<K, V>,
     batch: &[K],
     out: &mut [MaybeUninit<bool>],
 ) -> usize {
     let keys = &leaf.keys;
+    let old_vals = &leaf.vals;
     let mut kept = Vec::with_capacity(keys.len());
+    let mut kept_vals = Vec::with_capacity(keys.len());
     let mut i = 0;
     let mut removed = 0;
     for (q, slot) in batch.iter().zip(out.iter_mut()) {
         while i < keys.len() && keys[i] < *q {
             kept.push(keys[i].clone());
+            kept_vals.push(old_vals[i].clone());
             i += 1;
         }
         if i < keys.len() && keys[i] == *q {
@@ -427,6 +557,8 @@ fn remove_from_leaf<K: Ord + Clone>(
         }
     }
     kept.extend_from_slice(&keys[i..]);
+    kept_vals.extend_from_slice(&old_vals[i..]);
     leaf.keys = kept;
+    leaf.vals = kept_vals;
     removed
 }

@@ -35,8 +35,11 @@
 //! of different shards commit independently; a client that observes op A
 //! on shard 1 and then issues op B on shard 2 gets no promise that another
 //! client sees them in that order.  Aggregates over several shards
-//! ([`ShardedSet::len`]) are sums of per-shard linearisation points taken
-//! at different instants, not a consistent cut.  This is the standard
+//! ([`ShardedSet::len`], and the ordered queries [`ShardedSet::range_keys`]
+//! / [`ShardedSet::range_count`] / [`ShardedSet::predecessor`] /
+//! [`ShardedSet::successor`] / [`ShardedSet::kth`]) are sums or stitches
+//! of per-shard linearisation points taken at different instants, not a
+//! consistent cut.  This is the standard
 //! sharded-store contract; callers needing cross-shard atomicity must add
 //! a coordination layer on top.
 //!
@@ -90,6 +93,9 @@ mod router;
 pub use durable_tier::DurableTier;
 pub use router::{HashRouter, RangeRouter, ShardRouter, SplitBatch};
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::ops::Bound;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -125,6 +131,10 @@ struct ServiceMetrics {
     batches_split: Arc<Counter>,
     /// `service.point_ops` — point operations routed to a shard.
     point_ops: Arc<Counter>,
+    /// `service.range_ops` — ordered queries fanned out to every shard
+    /// (`range_keys` / `range_count` / `predecessor` / `successor` /
+    /// `kth`).
+    range_ops: Arc<Counter>,
     /// `service.empty_subbatches` — sub-batches that received no keys
     /// (their shard was skipped for that batch).
     empty_subbatches: Arc<Counter>,
@@ -140,6 +150,7 @@ impl ServiceMetrics {
         ServiceMetrics {
             batches_split: registry.counter("service.batches_split"),
             point_ops: registry.counter("service.point_ops"),
+            range_ops: registry.counter("service.range_ops"),
             empty_subbatches: registry.counter("service.empty_subbatches"),
             poisoned: registry.counter("service.poisoned"),
             subbatch_size: registry.histogram("service.subbatch_size"),
@@ -323,19 +334,145 @@ where
         self.run_batch(OpKind::Remove, batch, out);
     }
 
-    /// Total keys across all shards.  Each shard's count is its own
-    /// linearisation point; the sum is **not** a consistent cross-shard
-    /// cut (see the [module docs](self)).
+    /// Total keys across all shards.
+    ///
+    /// # Consistency contract
+    ///
+    /// Each shard's count is read at that shard's own linearisation
+    /// point; shards are visited in index order with no tier-wide lock
+    /// freezing them in between, so the sum is **not a consistent
+    /// cross-shard cut** (see the [module docs](self)).  What *is*
+    /// pinned:
+    ///
+    /// * every per-shard count is exact at the instant that shard is
+    ///   read, so the sum lies between the sum of per-shard minimum and
+    ///   per-shard maximum cardinalities over the call's duration;
+    /// * under a *monotone* concurrent workload (only inserts, or only
+    ///   removes, in flight) that bracket collapses to the total
+    ///   cardinality just before and just after the call — in
+    ///   particular, every operation **acknowledged before the call
+    ///   began** is counted, and no operation **issued after the call
+    ///   returned** is;
+    /// * a quiescent tier (no concurrent writers) gets the exact count.
+    ///
+    /// Non-monotone concurrent histories can yield a sum no single
+    /// instant exhibited (shard 0 counted before its insert, shard 1
+    /// after its remove).  The `service_stress` suite pins the monotone
+    /// bracket against acknowledged-operation counters.
     pub fn len(&self) -> usize {
         self.check_read_poisoned();
         let _promote = self.poison_guard();
         self.shards.iter().map(ConcurrentSet::len).sum()
     }
 
-    /// Returns `true` when no shard holds any key (same caveat as
-    /// [`ShardedSet::len`]).
+    /// Returns `true` when no shard holds any key (same
+    /// [consistency contract](ShardedSet::len) as `len`: per-shard
+    /// counts at independent instants, exact when quiescent).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Keys in `(lo, hi)` across all shards, ascending.
+    ///
+    /// Every shard answers the full bounds from its own published
+    /// snapshot (a wait-free read under the default
+    /// [`combine::Options::snapshot_reads`]); the tier then concatenates
+    /// the runs in shard order when the router is
+    /// [monotone](ShardRouter::monotone) and k-way merges them
+    /// otherwise.  Per-shard runs are per-shard linearisation points —
+    /// the stitched result is **not** a consistent cross-shard cut (same
+    /// contract as [`ShardedSet::len`]), but each shard's contribution
+    /// is exactly that shard's range at its own instant, so a quiescent
+    /// tier gets the exact range.
+    pub fn range_keys(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K> {
+        self.check_read_poisoned();
+        self.metrics.range_ops.inc();
+        let _promote = self.poison_guard();
+        let runs: Vec<Vec<K>> = self
+            .shards
+            .iter()
+            .map(|shard| shard.range_keys(lo, hi))
+            .collect();
+        if self.router.monotone() {
+            runs.into_iter().flatten().collect()
+        } else {
+            merge_sorted_runs(runs)
+        }
+    }
+
+    /// Number of keys in `(lo, hi)` across all shards — the sum of
+    /// per-shard counts, with [`ShardedSet::len`]'s consistency
+    /// contract.
+    pub fn range_count(&self, lo: Bound<&K>, hi: Bound<&K>) -> usize {
+        self.check_read_poisoned();
+        self.metrics.range_ops.inc();
+        let _promote = self.poison_guard();
+        self.shards
+            .iter()
+            .map(|shard| shard.range_count(lo, hi))
+            .sum()
+    }
+
+    /// Greatest key strictly less than `key` anywhere in the tier — the
+    /// maximum of the per-shard predecessors (each a per-shard
+    /// linearisation point).  Works for any router: a non-monotone
+    /// router scatters the candidates but `max` is order-insensitive.
+    pub fn predecessor(&self, key: &K) -> Option<K> {
+        self.check_read_poisoned();
+        self.metrics.range_ops.inc();
+        let _promote = self.poison_guard();
+        self.shards
+            .iter()
+            .filter_map(|shard| shard.predecessor(key))
+            .max()
+    }
+
+    /// Least key strictly greater than `key` anywhere in the tier — the
+    /// minimum of the per-shard successors.
+    pub fn successor(&self, key: &K) -> Option<K> {
+        self.check_read_poisoned();
+        self.metrics.range_ops.inc();
+        let _promote = self.poison_guard();
+        self.shards
+            .iter()
+            .filter_map(|shard| shard.successor(key))
+            .min()
+    }
+
+    /// The `k`-th smallest key (0-based) across all shards, or `None`
+    /// when fewer than `k + 1` keys are held.
+    ///
+    /// A [monotone](ShardRouter::monotone) router walks shards in index
+    /// order subtracting cardinalities (two reads per skipped shard);
+    /// otherwise the tier merges every shard's full key run and indexes
+    /// it.  Like every cross-shard aggregate this is not a consistent
+    /// cut: a shard that shrinks between the walk's `len` and `kth`
+    /// reads can make a concurrent call return `None` for a rank that
+    /// was momentarily occupied.
+    pub fn kth(&self, k: usize) -> Option<K> {
+        self.check_read_poisoned();
+        self.metrics.range_ops.inc();
+        let _promote = self.poison_guard();
+        if self.router.monotone() {
+            let mut k = k;
+            for shard in &self.shards {
+                let n = shard.len();
+                if k < n {
+                    return shard.kth(k);
+                }
+                k -= n;
+            }
+            None
+        } else {
+            merge_sorted_runs(
+                self.shards
+                    .iter()
+                    .map(|shard| shard.range_keys(Bound::Unbounded, Bound::Unbounded))
+                    .collect(),
+            )
+            .into_iter()
+            .nth(k)
+        }
     }
 
     /// Returns `true` when the tier — or any of its shards — is poisoned.
@@ -479,6 +616,28 @@ where
 const TIER_POISON_MSG: &str = "ShardedSet is poisoned: a shard's backend panicked mid-round, \
      so that shard's state is indeterminate";
 
+/// K-way merge of sorted runs (one per shard) into one ascending vector.
+/// A binary heap of run heads costs `O(n log k)`; shard ranges are
+/// disjoint (the router's assignment is total), so no dedup is needed.
+fn merge_sorted_runs<K: Ord>(runs: Vec<Vec<K>>) -> Vec<K> {
+    let total = runs.iter().map(Vec::len).sum();
+    let mut iters: Vec<std::vec::IntoIter<K>> = runs.into_iter().map(Vec::into_iter).collect();
+    let mut heap: BinaryHeap<Reverse<(K, usize)>> = BinaryHeap::with_capacity(iters.len());
+    for (run, iter) in iters.iter_mut().enumerate() {
+        if let Some(key) = iter.next() {
+            heap.push(Reverse((key, run)));
+        }
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(Reverse((key, run))) = heap.pop() {
+        out.push(key);
+        if let Some(next) = iters[run].next() {
+            heap.push(Reverse((next, run)));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -556,6 +715,70 @@ mod tests {
         set.batch_contains_report(&Batch::empty(), &mut out);
         assert!(out.is_empty());
         assert_eq!(set.metrics().counter("service.batches_split"), Some(0));
+    }
+
+    #[test]
+    fn ordered_queries_stitch_across_shards() {
+        let set = tier(4, 0);
+        let keys: Vec<u64> = (0..100).map(|i| i * 97 % 9_973).collect();
+        set.batch_insert(&Batch::from_unsorted(keys.clone()));
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+
+        use std::ops::Bound::{Excluded, Included, Unbounded};
+        assert_eq!(set.range_keys(Unbounded, Unbounded), sorted);
+        let lo = sorted[10];
+        let hi = sorted[90];
+        let want: Vec<u64> = sorted
+            .iter()
+            .copied()
+            .filter(|k| *k >= lo && *k < hi)
+            .collect();
+        assert_eq!(set.range_keys(Included(&lo), Excluded(&hi)), want);
+        assert_eq!(set.range_count(Included(&lo), Excluded(&hi)), want.len());
+        assert_eq!(set.predecessor(&sorted[50]), Some(sorted[49]));
+        assert_eq!(set.predecessor(&sorted[0]), None);
+        assert_eq!(set.successor(&sorted[50]), Some(sorted[51]));
+        assert_eq!(set.successor(sorted.last().unwrap()), None);
+        for k in [0usize, 1, 50, sorted.len() - 1] {
+            assert_eq!(set.kth(k), Some(sorted[k]), "rank {k}");
+        }
+        assert_eq!(set.kth(sorted.len()), None);
+        assert!(set.metrics().counter("service.range_ops").unwrap() >= 9);
+    }
+
+    #[test]
+    fn non_monotone_router_merges_ordered_results() {
+        let router = HashRouter::new(3);
+        assert!(!ShardRouter::<u64>::monotone(&router));
+        let set = ShardedSet::with_options(
+            router,
+            (0..3)
+                .map(|_| {
+                    ConcurrentSet::new(IstSet::from_unsorted(Vec::new()), Pool::new(1).unwrap())
+                })
+                .collect(),
+            Pool::new(2).unwrap(),
+            ShardedOptions { parallel_cutoff: 0 },
+        );
+        let keys: Vec<u64> = (0..200).map(|i| i * 13 % 1_009).collect();
+        set.batch_insert(&Batch::from_unsorted(keys.clone()));
+        let mut sorted = keys;
+        sorted.sort_unstable();
+        sorted.dedup();
+
+        use std::ops::Bound::{Included, Unbounded};
+        let got = set.range_keys(Unbounded, Unbounded);
+        assert_eq!(got, sorted, "hash-router runs must k-way merge sorted");
+        let lo = sorted[5];
+        assert_eq!(
+            set.range_keys(Included(&lo), Unbounded),
+            sorted[5..].to_vec()
+        );
+        assert_eq!(set.kth(7), Some(sorted[7]));
+        assert_eq!(set.predecessor(&sorted[9]), Some(sorted[8]));
+        assert_eq!(set.successor(&sorted[9]), Some(sorted[10]));
     }
 
     #[test]

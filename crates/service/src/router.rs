@@ -38,6 +38,18 @@ pub trait ShardRouter<K: Ord> {
     /// The shard owning `key`; always `< num_shards()`.
     fn shard_of(&self, key: &K) -> usize;
 
+    /// Whether the assignment is *monotone* in the key: `a <= b` implies
+    /// `shard_of(a) <= shard_of(b)`, i.e. shard `i` owns a contiguous key
+    /// range below shard `i + 1`'s.  Monotone routers let the tier answer
+    /// ordered queries by visiting shards in index order and concatenating
+    /// their (already sorted) runs; non-monotone routers force a k-way
+    /// merge.  Defaults to `false` — only claim monotonicity when it truly
+    /// holds, or [`ShardedSet::range_keys`](crate::ShardedSet::range_keys)
+    /// returns misordered results.
+    fn monotone(&self) -> bool {
+        false
+    }
+
     /// Splits a sorted `batch` into one (possibly empty) sub-batch per
     /// shard, plus the plan for stitching per-shard results back into
     /// batch order.
@@ -197,6 +209,12 @@ impl<K: InterpolateKey> ShardRouter<K> for RangeRouter<K> {
 
     fn shard_of(&self, key: &K) -> usize {
         interpolate_slot(key, &self.min, &self.max, self.num_shards)
+    }
+
+    /// `to_ordinal` is monotone and the slot interpolation preserves it, so
+    /// shard ranges are contiguous and ordered by shard index.
+    fn monotone(&self) -> bool {
+        true
     }
 
     fn split(&self, batch: &Batch<K>) -> SplitBatch<K>

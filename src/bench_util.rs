@@ -12,7 +12,6 @@ use std::thread;
 use std::time::Instant;
 
 use forkjoin::PoolMetrics;
-use workloads::ClientTrace;
 
 /// Milliseconds elapsed since `start`.
 pub fn elapsed_ms(start: Instant) -> f64 {
@@ -54,9 +53,14 @@ pub fn mean_of(xs: &[f64]) -> f64 {
 /// start/end instants) because an outside observer's clock can start late:
 /// on a loaded or single-core machine the observer may be descheduled
 /// through the barrier wakeup while the clients run — and even finish.
-pub fn drive_clients<F, G>(traces: &[ClientTrace], mut client: F) -> f64
+///
+/// Generic over the trace element, so the same driver serves the
+/// `(OpKind, key)` traces of the point benches and the [`workloads::ReadOp`]
+/// traces of the range bench.
+pub fn drive_clients<T, F, G>(traces: &[Vec<T>], mut client: F) -> f64
 where
-    F: FnMut(ClientTrace, Arc<Barrier>) -> G,
+    T: Clone,
+    F: FnMut(Vec<T>, Arc<Barrier>) -> G,
     G: FnOnce() -> (Instant, Instant) + Send + 'static,
 {
     let barrier = Arc::new(Barrier::new(traces.len()));

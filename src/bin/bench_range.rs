@@ -1,0 +1,316 @@
+//! Ordered-query benchmark: range scans over the flat-combining
+//! front-end's wait-free snapshot read path
+//! ([`combine::Options::snapshot_reads`], the default) against the
+//! round-entering path (`snapshot_reads: false`), on the same
+//! `pbist::IstSet` backing, under point/scan read mixes.
+//!
+//! Each scan materialises the keys in a half-open interval
+//! (`ConcurrentSet::range_keys`), so this measures what the published
+//! snapshot buys for *long* reads: the snapshot arm descends one borrowed
+//! tree per scan, while the round arm must enter the combiner protocol —
+//! and a long scan inside a round holds every concurrent writer up.
+//! Spans come in a short and a long flavour to separate per-op overhead
+//! from per-key copy cost.
+//!
+//! A separate telemetry pass per mix re-runs the snapshot arm and embeds
+//! the front-end's registry snapshot (including `combine.snapshot_reads`)
+//! in the JSON; the binary itself asserts that scans returned keys and
+//! that the snapshot path actually served reads, so a quick run doubles
+//! as the CI smoke for the ordered-query surface.
+//!
+//! Deterministic (seeded per-client traces, fixed configuration), std-only
+//! timing; one line per measurement on stdout, full results in
+//! `BENCH_range.json`.
+//!
+//! ```sh
+//! cargo run --release --bin bench_range
+//! # CI smoke: tiny sizes, one repetition
+//! BENCH_RANGE_QUICK=1 cargo run --release --bin bench_range
+//! ```
+
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use pbist_repro::{
+    bench_util::{assert_disabled_overhead, mean_of, min_of},
+    combine::{ConcurrentSet, Options},
+    forkjoin::Pool,
+    pbist::IstSet,
+    workloads::{self, ReadOp},
+};
+
+/// Benchmark sizes; `quick` is the CI smoke configuration.
+struct Config {
+    /// Keys pre-loaded into the set.
+    num_keys: usize,
+    /// Operations each client thread issues per run.
+    ops_per_client: usize,
+    /// Timed repetitions per measurement; best and mean are reported.
+    reps: usize,
+}
+
+const FULL: Config = Config {
+    num_keys: 100_000,
+    ops_per_client: 8_000,
+    reps: 3,
+};
+
+const QUICK: Config = Config {
+    num_keys: 5_000,
+    ops_per_client: 500,
+    reps: 2,
+};
+
+/// Client-thread counts measured.
+const CLIENT_COUNTS: [usize; 2] = [1, 4];
+/// Scan spans measured, in key-space units (the key range is twice the
+/// key count, so a span of `s` returns ~`s / 2` keys).
+const SPANS: [(&str, u64); 2] = [("short", 64), ("long", 4096)];
+/// Scan shares measured, in permille: a mostly-point mix and a pure-scan
+/// workload.
+const SCAN_PERMILLES: [u32; 2] = [100, 1000];
+/// Workers in the combiner's fork-join pool.
+const POOL_THREADS: usize = 2;
+
+struct Measurement {
+    path: &'static str,
+    span: &'static str,
+    scan_permille: u32,
+    clients: usize,
+    best_ns_per_op: f64,
+    mean_ns_per_op: f64,
+    /// Keys returned by scans across one run — the non-empty-scan proof.
+    scanned_keys: u64,
+}
+
+/// One mix's instrumented snapshot-arm run: the front-end registry
+/// snapshot, carrying `combine.snapshot_reads`.
+struct Telemetry {
+    span: &'static str,
+    scan_permille: u32,
+    clients: usize,
+    snapshot_reads: u64,
+    combine_json: String,
+}
+
+fn main() {
+    let quick = std::env::var_os("BENCH_RANGE_QUICK").is_some();
+    let cfg = if quick { QUICK } else { FULL };
+    let range = 0..(cfg.num_keys as u64 * 2);
+
+    let overhead_ns = assert_disabled_overhead();
+    println!("disabled-instrumentation overhead: {overhead_ns:.3} ns/op");
+
+    let prefill = workloads::uniform_keys_distinct(0x5EED, cfg.num_keys, range.clone());
+
+    let mut results = Vec::new();
+    let mut telemetry = Vec::new();
+    for &clients in &CLIENT_COUNTS {
+        for &(span_name, span) in &SPANS {
+            for &scan_permille in &SCAN_PERMILLES {
+                // Per-client seeds derive from one root seed, so both
+                // read paths replay identical traffic.
+                let seed = 0xCAFE ^ (clients as u64) << 24 ^ span << 10 ^ scan_permille as u64;
+                let traces = workloads::scan_client_traces(
+                    seed,
+                    clients,
+                    cfg.ops_per_client,
+                    range.clone(),
+                    span,
+                    scan_permille,
+                );
+                let total_ops = (clients * cfg.ops_per_client) as f64;
+                for (path, snapshot_reads) in [("snapshot", true), ("round", false)] {
+                    let mut scanned = 0u64;
+                    let runs: Vec<f64> = (0..cfg.reps)
+                        .map(|_| {
+                            let (secs, keys) = run_scans(&prefill, &traces, snapshot_reads);
+                            scanned = keys;
+                            secs * 1e9 / total_ops
+                        })
+                        .collect();
+                    assert!(
+                        scanned > 0,
+                        "scans over a half-full key space returned no keys \
+                         ({path}/{span_name}/{scan_permille}‰/{clients} clients)"
+                    );
+                    let m = Measurement {
+                        path,
+                        span: span_name,
+                        scan_permille,
+                        clients,
+                        best_ns_per_op: min_of(&runs),
+                        mean_ns_per_op: mean_of(&runs),
+                        scanned_keys: scanned,
+                    };
+                    println!(
+                        "{:>9} span={:<5} scans={:>4}‰ clients={}: best {:8.1} ns/op  \
+                         mean {:8.1} ns/op  ({} keys scanned)",
+                        m.path,
+                        m.span,
+                        m.scan_permille,
+                        m.clients,
+                        m.best_ns_per_op,
+                        m.mean_ns_per_op,
+                        m.scanned_keys
+                    );
+                    results.push(m);
+                }
+                let t =
+                    run_snapshot_telemetry(&prefill, &traces, span_name, scan_permille, clients);
+                println!(
+                    "  telemetry span={:<5} scans={:>4}‰ clients={}: {} snapshot reads",
+                    t.span, t.scan_permille, t.clients, t.snapshot_reads
+                );
+                telemetry.push(t);
+            }
+        }
+    }
+
+    let json = render_json(&cfg, quick, &results, overhead_ns, &telemetry);
+    std::fs::write("BENCH_range.json", &json).expect("write BENCH_range.json");
+    println!("wrote BENCH_range.json ({} measurements)", results.len());
+}
+
+/// One timed run over `traces` with the chosen read path.  Returns elapsed
+/// seconds and the total keys the scans returned (the anti-optimisation
+/// sink doubling as the non-empty-scan witness).
+fn run_scans(prefill: &[u64], traces: &[Vec<ReadOp>], snapshot_reads: bool) -> (f64, u64) {
+    let pool = Pool::new(POOL_THREADS).expect("pool");
+    let backing = IstSet::from_unsorted(prefill.to_vec());
+    let set = Arc::new(ConcurrentSet::with_options(
+        backing,
+        pool,
+        Options {
+            snapshot_reads,
+            ..Options::default()
+        },
+    ));
+    let scanned = Arc::new(AtomicU64::new(0));
+    let secs = pbist_repro::bench_util::drive_clients(traces, |trace, barrier| {
+        let set = Arc::clone(&set);
+        let scanned = Arc::clone(&scanned);
+        move || {
+            barrier.wait();
+            let mut keys = 0u64;
+            let start = Instant::now();
+            for op in trace {
+                match op {
+                    ReadOp::Point(key) => {
+                        std::hint::black_box(set.contains(&key));
+                    }
+                    ReadOp::Scan(lo, hi) => {
+                        let hits = set.range_keys(Bound::Included(&lo), Bound::Excluded(&hi));
+                        keys += std::hint::black_box(hits).len() as u64;
+                    }
+                }
+            }
+            let end = Instant::now();
+            scanned.fetch_add(keys, Ordering::Relaxed);
+            (start, end)
+        }
+    });
+    (secs, scanned.load(Ordering::Relaxed))
+}
+
+/// One untimed instrumented run of the snapshot arm, capturing the
+/// registry snapshot the CI smoke asserts on.
+fn run_snapshot_telemetry(
+    prefill: &[u64],
+    traces: &[Vec<ReadOp>],
+    span: &'static str,
+    scan_permille: u32,
+    clients: usize,
+) -> Telemetry {
+    let pool = Pool::new(POOL_THREADS).expect("pool");
+    let backing = IstSet::from_unsorted(prefill.to_vec());
+    let set = Arc::new(ConcurrentSet::with_options(
+        backing,
+        pool,
+        Options::default(),
+    ));
+    pbist_repro::bench_util::drive_clients(traces, |trace, barrier| {
+        let set = Arc::clone(&set);
+        move || {
+            barrier.wait();
+            let start = Instant::now();
+            for op in trace {
+                match op {
+                    ReadOp::Point(key) => {
+                        std::hint::black_box(set.contains(&key));
+                    }
+                    ReadOp::Scan(lo, hi) => {
+                        std::hint::black_box(
+                            set.range_keys(Bound::Included(&lo), Bound::Excluded(&hi)),
+                        );
+                    }
+                }
+            }
+            (start, Instant::now())
+        }
+    });
+    let snap = set.metrics();
+    let snapshot_reads = snap.counter("combine.snapshot_reads").unwrap_or(0);
+    assert!(
+        snapshot_reads > 0,
+        "telemetry pass answered no reads from the snapshot"
+    );
+    Telemetry {
+        span,
+        scan_permille,
+        clients,
+        snapshot_reads,
+        combine_json: snap.to_json(),
+    }
+}
+
+fn render_json(
+    cfg: &Config,
+    quick: bool,
+    results: &[Measurement],
+    overhead_ns: f64,
+    telemetry: &[Telemetry],
+) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"range\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"quick\": {quick}, \"num_keys\": {}, \"ops_per_client\": {}, \"reps\": {}, \"spans\": {{\"short\": 64, \"long\": 4096}}, \"scan_permilles\": [100, 1000], \"pool_threads\": {POOL_THREADS}}},\n",
+        cfg.num_keys, cfg.ops_per_client, cfg.reps
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"path\": \"{}\", \"span\": \"{}\", \"scan_permille\": {}, \"clients\": {}, \"best_ns_per_op\": {:.1}, \"mean_ns_per_op\": {:.1}, \"scanned_keys\": {}}}{}\n",
+            m.path,
+            m.span,
+            m.scan_permille,
+            m.clients,
+            m.best_ns_per_op,
+            m.mean_ns_per_op,
+            m.scanned_keys,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"metrics\": {\n");
+    json.push_str(&format!(
+        "    \"disabled_overhead_ns\": {overhead_ns:.4},\n"
+    ));
+    json.push_str("    \"snapshot_runs\": [\n");
+    for (i, t) in telemetry.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"span\": \"{}\", \"scan_permille\": {}, \"clients\": {}, \"snapshot_reads\": {}, \"combine\": {}}}{}\n",
+            t.span,
+            t.scan_permille,
+            t.clients,
+            t.snapshot_reads,
+            t.combine_json,
+            if i + 1 < telemetry.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
+    json
+}

@@ -428,6 +428,167 @@ fn snapshot_reads_satisfy_the_staleness_contract() {
     }
 }
 
+/// One recorded ordered read: everything a client learned from a single
+/// snapshot, paired with that snapshot's seq.
+struct RangeRead {
+    seq: u64,
+    lo: u64,
+    hi: u64,
+    keys: Vec<u64>,
+    count: usize,
+    pred: Option<u64>,
+    succ: Option<u64>,
+}
+
+/// Staleness-contract replay for the wait-free *ordered* reads
+/// (`range_keys` / `range_count` / `predecessor` / `successor` off the
+/// published snapshot), mirroring the point-read contract test above.
+///
+/// Clients write disjoint key spaces and, after each write, capture one
+/// snapshot and record a full ordered read against it.  Afterwards the
+/// round log replays sequentially and every recorded read must equal the
+/// oracle state after exactly the rounds with seq `<=` the observed seq —
+/// i.e. every range a client ever saw *is* some committed round's range,
+/// never a half-applied or invented one.  The front-end's own wait-free
+/// wrappers are exercised in the same run and must never enter a round.
+#[test]
+fn snapshot_range_reads_replay_against_the_committed_rounds() {
+    let pool = Pool::new(2).unwrap();
+    let set = Arc::new(ConcurrentSet::with_options(
+        IstSet::from_unsorted(Vec::new()),
+        pool,
+        Options {
+            log_rounds: true,
+            ..Options::default()
+        },
+    ));
+    let clients = 4u64;
+    let per_client = 300u64;
+    let span = 61u64;
+
+    let reads: Vec<Vec<RangeRead>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let set = Arc::clone(&set);
+                s.spawn(move || {
+                    let base = c * 1_000_000;
+                    let mut recorded = Vec::new();
+                    for i in 0..per_client {
+                        let key = base + (i % span);
+                        if i % 3 != 2 {
+                            set.insert(key);
+                        } else {
+                            set.remove(&key);
+                        }
+                        // The wait-free wrappers must answer without
+                        // combining; their results are checked only for
+                        // plausibility here (they may come from a newer
+                        // snapshot than the one recorded below).
+                        let quick = set.range_count(
+                            std::ops::Bound::Included(&base),
+                            std::ops::Bound::Excluded(&(base + span)),
+                        );
+                        assert!(quick as u64 <= span, "client {c}: impossible count");
+                        // The recorded read: one snapshot, every ordered
+                        // query against that same view, seq attached.
+                        let snap = set.read_snapshot();
+                        let lo = base + ((i * 13) % span);
+                        let hi = lo + 1 + (i * 7) % 40;
+                        let view = snap.view();
+                        recorded.push(RangeRead {
+                            seq: snap.seq(),
+                            lo,
+                            hi,
+                            keys: view.range_keys(
+                                std::ops::Bound::Included(&lo),
+                                std::ops::Bound::Excluded(&hi),
+                            ),
+                            count: view.range_count(
+                                std::ops::Bound::Included(&lo),
+                                std::ops::Bound::Excluded(&hi),
+                            ),
+                            pred: view.predecessor(&lo),
+                            succ: view.successor(&lo),
+                        });
+                    }
+                    recorded
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Ordered reads bypassed the combiner: the log holds writes only.
+    let rounds = set.take_rounds();
+    assert!(
+        rounds
+            .iter()
+            .flat_map(|r| r.ops.iter())
+            .all(|op| !matches!(op.kind, CombinedOp::Contains)),
+        "ordered reads must never enter a round"
+    );
+    assert_eq!(
+        set.stats().ops,
+        clients * per_client,
+        "only the writes may be combined"
+    );
+
+    // Replay: a read observed at seq s is checked against the oracle once
+    // every round with seq <= s has applied.
+    let mut events: Vec<RangeRead> = reads.into_iter().flatten().collect();
+    events.sort_by_key(|e| e.seq);
+    let mut oracle: BTreeSet<u64> = BTreeSet::new();
+    let mut next = 0usize;
+    let check = |e: &RangeRead, oracle: &BTreeSet<u64>| {
+        let expect: Vec<u64> = oracle
+            .iter()
+            .copied()
+            .filter(|&k| k >= e.lo && k < e.hi)
+            .collect();
+        assert_eq!(
+            e.keys, expect,
+            "range [{}, {}) at snapshot seq {} does not match the round state",
+            e.lo, e.hi, e.seq
+        );
+        assert_eq!(e.count, expect.len(), "count at seq {} diverged", e.seq);
+        assert_eq!(
+            e.pred,
+            oracle.range(..e.lo).next_back().copied(),
+            "predecessor({}) at seq {} diverged",
+            e.lo,
+            e.seq
+        );
+        assert_eq!(
+            e.succ,
+            oracle.range(e.lo + 1..).next().copied(),
+            "successor({}) at seq {} diverged",
+            e.lo,
+            e.seq
+        );
+    };
+    for round in &rounds {
+        while next < events.len() && events[next].seq < round.seq {
+            check(&events[next], &oracle);
+            next += 1;
+        }
+        for op in &round.ops {
+            match op.kind {
+                CombinedOp::Insert => {
+                    oracle.insert(op.key);
+                }
+                CombinedOp::Remove => {
+                    oracle.remove(&op.key);
+                }
+                CombinedOp::Contains => {}
+            }
+        }
+    }
+    while next < events.len() {
+        check(&events[next], &oracle);
+        next += 1;
+    }
+}
+
 /// A backend that panics when asked to insert `u64::MAX` — used to race
 /// `snapshot_keys` against a poisoning combiner.
 struct BombSet {

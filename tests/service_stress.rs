@@ -708,3 +708,83 @@ fn batch_containing_bomb_key_poisons_tier() {
         );
     }
 }
+
+/// Pins `ShardedSet::len`'s documented consistency bracket (the satellite
+/// contract in the crate docs): under a *monotone* concurrent workload
+/// (insert-only, distinct keys), every call observes
+///
+/// ```text
+/// acknowledged-before-the-call  <=  len()  <=  issued-after-the-call
+/// ```
+///
+/// because an insert acknowledged before the call began has committed on
+/// its shard before that shard's count is read, and a key counted by some
+/// shard must have been issued before the call returned.  The non-atomic
+/// cut shows up only *between* the two bounds — that slack is the
+/// documented behaviour, not a bug, so the test asserts the bracket and
+/// nothing tighter.
+#[test]
+fn len_stays_within_the_monotone_workload_bracket() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let num_shards = 4;
+    let set = Arc::new(ShardedSet::new(
+        RangeRouter::new(num_shards, 0u64, 1_000_000),
+        (0..num_shards)
+            .map(|_| ConcurrentSet::new(IstSet::from_unsorted(Vec::new()), Pool::new(1).unwrap()))
+            .collect(),
+        Pool::new(2).unwrap(),
+    ));
+    let issued = Arc::new(AtomicU64::new(0));
+    let acked = Arc::new(AtomicU64::new(0));
+
+    let writers: Vec<_> = (0..3u64)
+        .map(|w| {
+            let set = Arc::clone(&set);
+            let issued = Arc::clone(&issued);
+            let acked = Arc::clone(&acked);
+            thread::spawn(move || {
+                // Distinct keys per writer (disjoint residues), so every
+                // insert is new and cardinality is exactly the ack count.
+                for i in 0..2_000u64 {
+                    let key = i * 3 + w;
+                    issued.fetch_add(1, Ordering::SeqCst);
+                    assert!(set.insert(key), "key {key} must be new");
+                    acked.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        })
+        .collect();
+
+    let mut observed = 0usize;
+    while observed < 6_000 {
+        let lo = acked.load(Ordering::SeqCst);
+        let n = set.len();
+        let hi = issued.load(Ordering::SeqCst);
+        assert!(
+            (lo as usize) <= n && n <= hi as usize,
+            "len() = {n} outside the bracket [{lo}, {hi}]"
+        );
+        observed = n;
+    }
+    for w in writers {
+        w.join().unwrap();
+    }
+    assert_eq!(set.len(), 6_000, "quiescent tier counts exactly");
+    assert!(!set.is_empty());
+
+    // Quiescent ordered queries agree with the oracle built from the same
+    // keys — the stitched range is exact once no writer is in flight.
+    let oracle: BTreeSet<u64> = (0..6_000u64).collect();
+    assert_eq!(
+        set.range_keys(std::ops::Bound::Unbounded, std::ops::Bound::Unbounded),
+        oracle.iter().copied().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        set.range_count(
+            std::ops::Bound::Included(&100),
+            std::ops::Bound::Excluded(&200)
+        ),
+        100
+    );
+}
